@@ -1,0 +1,36 @@
+"""Table I — GHZ rows.
+
+Paper: GHZ is easy for everyone (500 qubits in < 4 s); all methods
+linear in max nodes, addition slightly lighter than basic.
+
+Reproduction: same linearity; GHZ100 runs at paper size.
+"""
+
+import pytest
+
+from repro.systems import models
+
+
+@pytest.mark.parametrize("method,params", [
+    ("basic", {}),
+    ("addition", {"k": 1}),
+    ("contraction", {"k1": 4, "k2": 4}),
+])
+def test_ghz30(image_bench, method, params):
+    result = image_bench(lambda: models.ghz_qts(30), method, **params)
+    assert result.dimension == 1
+
+
+@pytest.mark.parametrize("n", [60, 100])
+def test_ghz_wide_contraction(image_bench, n):
+    result = image_bench(lambda: models.ghz_qts(n), "contraction",
+                         k1=4, k2=4)
+    assert result.dimension == 1
+
+
+def test_ghz_linear_node_growth():
+    from repro.image.engine import compute_image
+    nodes = [compute_image(models.ghz_qts(n), method="contraction",
+                           k1=4, k2=4).stats.max_nodes
+             for n in (25, 50, 100)]
+    assert nodes[2] <= 6 * nodes[0]

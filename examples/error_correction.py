@@ -1,0 +1,59 @@
+"""Verifying the bit-flip error-correcting circuit (paper, Fig. 3).
+
+The transition system has one operation with four Kraus circuits (one
+per syndrome measurement outcome) — a *dynamic* quantum circuit.  The
+correctness property is
+
+    T( span{|100>, |010>, |001>} (x) |000> ) = span{|000000>}
+
+i.e. every single bit-flip error state is mapped back to the codeword
+space, with syndrome ancillas reset.  We check it with the paper's own
+contraction-partition parameters for this circuit (k1 = 3, k2 = 2) and
+also verify a *superposition* codeword survives an error.
+
+Run:  python examples/error_correction.py
+"""
+
+import numpy as np
+
+from repro import ModelChecker, models
+from repro.image.engine import compute_image
+
+
+def main() -> None:
+    qts = models.bitflip_qts()
+    print(f"System: {qts}")
+    print(f"Kraus circuits (measurement branches): "
+          f"{qts.operation('correct').num_kraus}")
+
+    # --- the paper's property ----------------------------------------
+    checker = ModelChecker(qts, method="contraction", k1=3, k2=2)
+    expected = qts.space.span([qts.space.basis_state([0] * 6)])
+    ok = checker.check_image_equals(expected)
+    print(f"T(error states) = span{{|000000>}}: {ok}")
+    assert ok
+
+    # --- a corrupted logical superposition is restored ---------------
+    # encode a|000> + b|111>, flip qubit 1, run the corrector
+    a, b = 0.6, 0.8
+    amplitudes = np.zeros(64, dtype=complex)
+    amplitudes[0b010_000] = a  # X1 applied to |000>|000>
+    amplitudes[0b101_000] = b  # X1 applied to |111>|000>
+    corrupted = qts.space.span([qts.space.from_amplitudes(amplitudes)])
+    image = compute_image(qts, subspace=corrupted,
+                          method="contraction", k1=3, k2=2).subspace
+    restored = np.zeros(64, dtype=complex)
+    restored[0b000_000] = a
+    restored[0b111_000] = b
+    target = qts.space.span([qts.space.from_amplitudes(restored)])
+    print(f"corrupted codeword restored: {image.equals(target)}")
+    assert image.equals(target)
+
+    # --- reachability: the corrector never leaves the code space -----
+    trace = checker.reachable()
+    print(f"reachability fixpoint after {trace.iterations} iterations, "
+          f"dimension {trace.dimension}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: model-check a Grover iteration.
+
+Reproduces the paper's Section III.A.1 case study end to end:
+
+1. build the 3-qubit Grover-iteration quantum transition system,
+2. compute the image of the invariant subspace S = span{|++->, |11->}
+   with all three algorithms,
+3. verify the invariance property T(S) = S,
+4. print the Fig. 1 projector TDD as Graphviz DOT.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ModelChecker, compute_image, models
+from repro.tdd.io import to_dot
+
+
+def main() -> None:
+    # --- the quantum transition system (paper, Definition 2) --------
+    qts = models.grover_qts(3, initial="invariant")
+    print(f"System: {qts}")
+    print(f"Initial subspace dimension: {qts.initial.dimension}")
+
+    # --- one-step images with all three algorithms -------------------
+    for method, params in (("basic", {}),
+                           ("addition", {"k": 1}),
+                           ("contraction", {"k1": 4, "k2": 4})):
+        result = compute_image(models.grover_qts(3, initial="invariant"),
+                               method=method, **params)
+        print(f"  {method:12s} dim(T(S)) = {result.dimension}   "
+              f"time = {result.stats.seconds * 1000:.1f} ms   "
+              f"max TDD nodes = {result.stats.max_nodes}")
+
+    # --- the invariance property T(S) = S ----------------------------
+    checker = ModelChecker(qts, method="contraction", k1=4, k2=4)
+    invariant = checker.check_invariant(strict=True)
+    print(f"T(S) = S (Grover invariant, Section III.A.1): {invariant}")
+    assert invariant
+
+    # --- the Fig. 1 projector TDD ------------------------------------
+    dot = to_dot(qts.initial.projector, name="fig1_projector")
+    print("\nProjector TDD of span{|++->, |11->} (paper Fig. 1), "
+          "Graphviz DOT:")
+    print(dot)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — Image Computation for Quantum Transition Systems.
+
+A complete reimplementation of Hong, Gao, Li, Ying & Ying, *"Image
+Computation for Quantum Transition Systems"* (DATE 2025): tensor
+decision diagrams, quantum circuits as tensor networks, subspace
+algebra, quantum transition systems, three image computation
+algorithms (basic / addition partition / contraction partition) and a
+model-checking layer on top.
+
+Quickstart::
+
+    from repro import models, ModelChecker
+
+    qts = models.grover_qts(4, initial="invariant")
+    checker = ModelChecker(qts, method="contraction", k1=4, k2=4)
+    assert checker.check_invariant(strict=True)   # T(S) = S
+"""
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gates.gate import Gate
+from repro.gates import library as gates
+from repro.image import (AdditionImageComputer, BasicImageComputer,
+                         ContractionImageComputer, ImageResult,
+                         compute_image, make_computer)
+from repro.indices.index import Index, wire
+from repro.indices.order import IndexOrder
+from repro.mc.checker import ModelChecker
+from repro.mc.reachability import reachable_space
+from repro.subspace.subspace import StateSpace, Subspace
+from repro.subspace.projector import basis_decompose
+from repro.systems import models
+from repro.systems.operations import QuantumOperation
+from repro.systems.qts import QuantumTransitionSystem
+from repro.tdd.manager import TDDManager
+from repro.tdd.tdd import TDD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit", "Gate", "gates",
+    "AdditionImageComputer", "BasicImageComputer",
+    "ContractionImageComputer", "ImageResult", "compute_image",
+    "make_computer",
+    "Index", "wire", "IndexOrder",
+    "ModelChecker", "reachable_space",
+    "StateSpace", "Subspace", "basis_decompose",
+    "models", "QuantumOperation", "QuantumTransitionSystem",
+    "TDDManager", "TDD",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating the paper's Table I and Table II."""
+
+from repro.bench.runner import BenchRow, run_image_benchmark
+from repro.bench import table1, table2
+
+__all__ = ["BenchRow", "run_image_benchmark", "table1", "table2"]

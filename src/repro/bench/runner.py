@@ -1,0 +1,54 @@
+"""Shared benchmark plumbing.
+
+A benchmark run builds a *fresh* QTS (so transition-TDD construction is
+included in the measured time, matching the paper's methodology),
+computes one image, and reports wall seconds + peak TDD node count —
+the two columns of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.image.engine import compute_image
+from repro.systems.qts import QuantumTransitionSystem
+
+
+@dataclass
+class BenchRow:
+    """One (benchmark, method) cell of Table I."""
+
+    benchmark: str
+    method: str
+    seconds: float
+    max_nodes: int
+    dimension: int
+    timed_out: bool = False
+
+    def cells(self):
+        if self.timed_out:
+            return (self.benchmark, self.method, "-", "-")
+        return (self.benchmark, self.method, f"{self.seconds:.2f}",
+                str(self.max_nodes))
+
+
+def run_image_benchmark(builder: Callable[[], QuantumTransitionSystem],
+                        label: str, method: str,
+                        timeout_seconds: Optional[float] = None,
+                        **params) -> BenchRow:
+    """Run one image computation and collect the Table I columns.
+
+    ``timeout_seconds`` is a *soft* cap checked after the run (pure
+    Python cannot preempt a contraction); callers use generous caps and
+    pre-sized workloads instead of relying on it.
+    """
+    qts = builder()
+    result = compute_image(qts, method=method, **params)
+    row = BenchRow(benchmark=label, method=method,
+                   seconds=result.stats.seconds,
+                   max_nodes=result.stats.max_nodes,
+                   dimension=result.dimension)
+    if timeout_seconds is not None and row.seconds > timeout_seconds:
+        row.timed_out = True
+    return row

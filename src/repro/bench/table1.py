@@ -1,0 +1,143 @@
+"""Table I regeneration: three image computation methods across the
+five benchmark families.
+
+The paper runs Grover/QFT/BV/GHZ/QRW at up to 500 qubits on a C++ TDD
+engine; this pure-Python reproduction runs the same families with the
+same three methods and the same parameters (addition k = 1, contraction
+k1 = k2 = 4) at sizes scaled to interpreter speed.  Pass
+``--scale paper`` to attempt the paper's original sizes for the
+families where pure Python can reach them (GHZ/BV under contraction).
+
+Run:  ``python -m repro.bench.table1 [--scale small|medium|paper]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.runner import BenchRow, run_image_benchmark
+from repro.systems import models
+from repro.utils.tables import format_table
+
+#: method name -> image-computation parameters (the Table I settings)
+TABLE1_METHODS: Dict[str, dict] = {
+    "basic": {},
+    "addition": {"k": 1},
+    "contraction": {"k1": 4, "k2": 4},
+}
+
+#: family -> (builder from size, sizes per scale, methods to skip by size)
+#: ``None`` in a skip entry means "run every method at this size".
+FamilySpec = Tuple[Callable[[int], object], Dict[str, List[int]],
+                   Callable[[str, int], bool]]
+
+
+def _grover(n: int):
+    # two composed iterations: the regime where the monolithic operator
+    # TDD grows and the partition methods pay off (EXPERIMENTS.md)
+    return models.grover_qts(n, iterations=2)
+
+
+def _qrw(n: int):
+    return models.qrw_qts(n, 0.1, steps=4)
+
+
+def _skip_never(method: str, size: int) -> bool:
+    return False
+
+
+FAMILIES: Dict[str, FamilySpec] = {
+    "Grover": (
+        _grover,
+        {"small": [6, 8], "medium": [6, 8, 9], "paper": [15, 18, 20, 40]},
+        lambda method, size: method != "contraction" and size > 9,
+    ),
+    "QFT": (
+        models.qft_qts,
+        {"small": [8, 10], "medium": [8, 10, 12, 16, 20],
+         "paper": [15, 18, 20, 30, 50, 100]},
+        lambda method, size: method != "contraction" and size > 12,
+    ),
+    "BV": (
+        models.bv_qts,
+        {"small": [20, 40], "medium": [20, 40, 60, 100],
+         "paper": [100, 200, 300, 400, 500]},
+        lambda method, size: method != "contraction" and size > 100,
+    ),
+    "GHZ": (
+        models.ghz_qts,
+        {"small": [20, 40], "medium": [20, 40, 60, 100],
+         "paper": [100, 200, 300, 400, 500]},
+        lambda method, size: method != "contraction" and size > 100,
+    ),
+    "QRW": (
+        _qrw,
+        {"small": [5, 6], "medium": [5, 6, 7, 8], "paper": [15, 18, 20, 30]},
+        lambda method, size: method != "contraction" and size > 8,
+    ),
+}
+
+
+def table1_rows(scale: str = "small",
+                families: Optional[List[str]] = None) -> List[BenchRow]:
+    """Run the Table I grid and return one row per (family-size, method)."""
+    rows: List[BenchRow] = []
+    for family, (builder, size_map, skip) in FAMILIES.items():
+        if families and family not in families:
+            continue
+        for size in size_map[scale]:
+            label = f"{family}{size}"
+            for method, params in TABLE1_METHODS.items():
+                if skip(method, size):
+                    rows.append(BenchRow(label, method, 0.0, 0, 0,
+                                         timed_out=True))
+                    continue
+                rows.append(run_image_benchmark(
+                    lambda n=size: builder(n), label, method, **params))
+    return rows
+
+
+def format_rows(rows: List[BenchRow]) -> str:
+    """Paper-style layout: one line per benchmark, methods side by side."""
+    by_label: Dict[str, Dict[str, BenchRow]] = {}
+    order: List[str] = []
+    for row in rows:
+        if row.benchmark not in by_label:
+            by_label[row.benchmark] = {}
+            order.append(row.benchmark)
+        by_label[row.benchmark][row.method] = row
+    headers = ["Benchmark"]
+    for method in TABLE1_METHODS:
+        headers += [f"{method} time", f"{method} max#node"]
+    table: List[List[str]] = []
+    for label in order:
+        cells: List[str] = [label]
+        for method in TABLE1_METHODS:
+            row = by_label[label].get(method)
+            if row is None or row.timed_out:
+                cells += ["-", "-"]
+            else:
+                cells += [f"{row.seconds:.2f}", str(row.max_nodes)]
+        table.append(cells)
+    return format_table(headers, table)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["small", "medium", "paper"],
+                        default="small")
+    parser.add_argument("--family", action="append",
+                        choices=sorted(FAMILIES),
+                        help="restrict to a family (repeatable)")
+    args = parser.parse_args(argv)
+    rows = table1_rows(args.scale, args.family)
+    print("Table I (reproduction) — image computation: "
+          "time [s] and max TDD nodes")
+    print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

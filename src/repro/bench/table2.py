@@ -1,0 +1,59 @@
+"""Table II regeneration: contraction-partition parameter sweep.
+
+The paper sweeps k1, k2 in 1..15 on 'Grover 15' and reports image
+computation time per cell, showing a wide plateau of good parameters
+with degradation only when both get large.  This harness runs the same
+sweep on a Grover instance sized for pure Python.
+
+Run:  ``python -m repro.bench.table2 [--qubits 8] [--kmax 8]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.image.engine import compute_image
+from repro.systems import models
+from repro.utils.tables import format_table
+
+
+def sweep(num_qubits: int = 8, kmax: int = 8,
+          iterations: int = 2) -> List[List[float]]:
+    """``result[k1-1][k2-1]`` = seconds for contraction(k1, k2)."""
+    grid: List[List[float]] = []
+    for k1 in range(1, kmax + 1):
+        row: List[float] = []
+        for k2 in range(1, kmax + 1):
+            qts = models.grover_qts(num_qubits, iterations=iterations)
+            result = compute_image(qts, method="contraction",
+                                   k1=k1, k2=k2)
+            row.append(result.stats.seconds)
+        grid.append(row)
+    return grid
+
+
+def format_grid(grid: List[List[float]]) -> str:
+    kmax = len(grid)
+    headers = ["k1\\k2"] + [str(k2) for k2 in range(1, kmax + 1)]
+    rows = [[str(k1 + 1)] + [f"{cell:.2f}" for cell in row]
+            for k1, row in enumerate(grid)]
+    return format_table(headers, rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=8)
+    parser.add_argument("--kmax", type=int, default=8)
+    parser.add_argument("--iterations", type=int, default=2)
+    args = parser.parse_args(argv)
+    grid = sweep(args.qubits, args.kmax, args.iterations)
+    print(f"Table II (reproduction) — contraction partition times [s], "
+          f"Grover {args.qubits} x{args.iterations} iterations")
+    print(format_grid(grid))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

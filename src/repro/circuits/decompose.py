@@ -1,0 +1,213 @@
+"""Gate decomposition passes.
+
+The TDD engine handles ``C^n(X)`` natively (rank n+2 tensors), but
+exchanging circuits with other tools (OpenQASM 2.0, hardware
+compilers) requires elementary gates.  ``decompose_circuit`` lowers a
+circuit to the ``{single-qubit, CX, CP, (optionally CCX)}`` basis:
+
+* ``C^n(X)`` — as ``H · C^n(Z) · H`` with ``C^n(Z) = C^n(P(pi))``,
+* ``C^n(P(theta))`` — the textbook ancilla-free recursion
+  ``CP(t/2) · C^{n-1}X · CP(-t/2) · C^{n-1}X · C^{n-1}P(t/2)``
+  (gate count exponential in ``n``; exact, no ancillas),
+* anti-controls — X conjugation on the anti-control wires,
+* single-controlled general U — the ZYZ/ABC construction
+  ``C(U) = P(alpha)_c · A · CX · B · CX · C``,
+* ``swap`` — three CX.
+
+Projector and Kraus gates are intentionally rejected: they have no
+unitary decomposition (model them as Kraus circuits instead).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+from repro.gates import library as gl
+from repro.gates import matrices as gm
+from repro.gates.gate import Gate
+
+_BASIS_1Q = {"h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx", "rx", "ry",
+             "rz", "p", "u3"}
+
+
+def zyz_decompose(matrix: np.ndarray) -> Tuple[float, float, float, float]:
+    """Factor a 2x2 unitary as ``e^{i alpha} Rz(a) Ry(b) Rz(c)``.
+
+    Returns ``(alpha, a, b, c)``.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    det = np.linalg.det(matrix)
+    alpha = cmath.phase(det) / 2
+    su2 = matrix * cmath.exp(-1j * alpha)
+    # su2 = [[cos(b/2) e^{-i(a+c)/2}, -sin(b/2) e^{-i(a-c)/2}],
+    #        [sin(b/2) e^{ i(a-c)/2},  cos(b/2) e^{ i(a+c)/2}]]
+    cos_half = abs(su2[0, 0])
+    sin_half = abs(su2[1, 0])
+    b = 2 * math.atan2(sin_half, cos_half)
+    if cos_half > 1e-12 and sin_half > 1e-12:
+        apc = -2 * cmath.phase(su2[0, 0])
+        amc = 2 * cmath.phase(su2[1, 0])
+        a = (apc + amc) / 2
+        c = (apc - amc) / 2
+    elif sin_half <= 1e-12:        # diagonal
+        a = -2 * cmath.phase(su2[0, 0])
+        c = 0.0
+    else:                          # anti-diagonal
+        a = 2 * cmath.phase(su2[1, 0])
+        c = 0.0
+    return alpha, a, b, c
+
+
+def _single_qubit_gates(matrix: np.ndarray, qubit: int) -> List[Gate]:
+    """An arbitrary 1-qubit unitary as Rz·Ry·Rz (+ global phase)."""
+    alpha, a, b, c = zyz_decompose(matrix)
+    gates: List[Gate] = []
+    if abs(c) > 1e-12:
+        gates.append(gl.rz(c, qubit))
+    if abs(b) > 1e-12:
+        gates.append(gl.ry(b, qubit))
+    if abs(a) > 1e-12:
+        gates.append(gl.rz(a, qubit))
+    if abs(alpha) > 1e-12:
+        gates.append(gl.scalar(cmath.exp(1j * alpha)))
+    return gates or [gl.rz(0.0, qubit)]
+
+
+def _cnx(controls: Sequence[int], target: int,
+         keep_ccx: bool) -> List[Gate]:
+    controls = list(controls)
+    if not controls:
+        return [gl.x(target)]
+    if len(controls) == 1:
+        return [gl.cx(controls[0], target)]
+    if len(controls) == 2 and keep_ccx:
+        return [gl.ccx(controls[0], controls[1], target)]
+    return ([gl.h(target)]
+            + _cnp(controls, target, math.pi, keep_ccx)
+            + [gl.h(target)])
+
+
+def _cnp(controls: Sequence[int], target: int, theta: float,
+         keep_ccx: bool) -> List[Gate]:
+    """C^k(P(theta)) in the elementary basis (ancilla-free recursion)."""
+    controls = list(controls)
+    if not controls:
+        return [gl.p(theta, target)]
+    if len(controls) == 1:
+        return [gl.cp(theta, controls[0], target)]
+    last = controls[-1]
+    rest = controls[:-1]
+    gates: List[Gate] = [gl.cp(theta / 2, last, target)]
+    gates += _cnx(rest, last, keep_ccx)
+    gates += [gl.cp(-theta / 2, last, target)]
+    gates += _cnx(rest, last, keep_ccx)
+    gates += _cnp(rest, target, theta / 2, keep_ccx)
+    return gates
+
+
+def _controlled_unitary(control: int, target: int,
+                        matrix: np.ndarray) -> List[Gate]:
+    """C(U) via the ABC construction (Nielsen & Chuang 4.2)."""
+    alpha, a, b, c = zyz_decompose(matrix)
+    gates: List[Gate] = []
+    # C = Rz((c - a)/2)
+    if abs((c - a) / 2) > 1e-12:
+        gates.append(gl.rz((c - a) / 2, target))
+    gates.append(gl.cx(control, target))
+    # B = Ry(-b/2) Rz(-(a + c)/2)
+    if abs((a + c) / 2) > 1e-12:
+        gates.append(gl.rz(-(a + c) / 2, target))
+    if abs(b / 2) > 1e-12:
+        gates.append(gl.ry(-b / 2, target))
+    gates.append(gl.cx(control, target))
+    # A = Rz(a) Ry(b/2)
+    if abs(b / 2) > 1e-12:
+        gates.append(gl.ry(b / 2, target))
+    if abs(a) > 1e-12:
+        gates.append(gl.rz(a, target))
+    if abs(alpha) > 1e-12:
+        gates.append(gl.p(alpha, control))
+    return gates
+
+
+def decompose_gate(gate: Gate, keep_ccx: bool = True) -> List[Gate]:
+    """Lower one gate to the elementary basis.
+
+    Gates already in the basis pass through unchanged.  Raises
+    :class:`CircuitError` for non-unitary gates.
+    """
+    if gate.is_scalar:
+        return [gate]
+    if not gm.is_unitary(gate.operator_matrix()):
+        raise CircuitError(f"gate {gate.name!r} is not unitary; "
+                           f"projector/Kraus gates cannot be decomposed")
+    # unwrap anti-controls by X conjugation
+    if any(s == 0 for s in gate.control_states):
+        flips = [gl.x(q) for q, s in zip(gate.controls, gate.control_states)
+                 if s == 0]
+        inner = Gate(gate.name, gate.targets, gate.matrix,
+                     controls=gate.controls, diagonal=gate.diagonal)
+        return flips + decompose_gate(inner, keep_ccx) + flips
+
+    if not gate.controls:
+        if gate.name in _BASIS_1Q and len(gate.targets) == 1:
+            return [gate]
+        if len(gate.targets) == 1:
+            return _single_qubit_gates(gate.matrix, gate.targets[0])
+        if gate.name == "swap":
+            a, b = gate.targets
+            return [gl.cx(a, b), gl.cx(b, a), gl.cx(a, b)]
+        raise CircuitError(f"no decomposition for multi-target gate "
+                           f"{gate.name!r}")
+
+    if len(gate.targets) != 1:
+        raise CircuitError(f"no decomposition for controlled multi-target "
+                           f"gate {gate.name!r}")
+    target = gate.targets[0]
+    controls = list(gate.controls)
+    if np.allclose(gate.matrix, gm.X):
+        out = _cnx(controls, target, keep_ccx)
+    elif gm.is_diagonal(gate.matrix) and np.isclose(gate.matrix[0, 0], 1.0):
+        theta = cmath.phase(complex(gate.matrix[1, 1]))
+        out = _cnp(controls, target, theta, keep_ccx)
+    elif len(controls) == 1:
+        out = _controlled_unitary(controls[0], target, gate.matrix)
+    else:
+        # C^k(U): peel one level — C^k(U) = C(C^{k-1}(U)) is not
+        # directly expressible; use V with V^2 = U (always exists for
+        # unitary U) and the standard two-control recursion.
+        v = _matrix_sqrt(gate.matrix)
+        last = controls[-1]
+        rest = controls[:-1]
+        out = []
+        out += _controlled_unitary(last, target, v)
+        out += _cnx(rest, last, keep_ccx)
+        out += _controlled_unitary(last, target, v.conj().T)
+        out += _cnx(rest, last, keep_ccx)
+        out += decompose_gate(Gate("cnu", (target,), v,
+                                   controls=tuple(rest)), keep_ccx)
+    if len(out) == 1 and len(gate.qubits) <= 2:
+        return out
+    return out
+
+
+def _matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
+    """A unitary square root of a 2x2 unitary."""
+    values, vectors = np.linalg.eig(matrix)
+    roots = np.sqrt(values.astype(complex))
+    return vectors @ np.diag(roots) @ np.linalg.inv(vectors)
+
+
+def decompose_circuit(circuit: QuantumCircuit,
+                      keep_ccx: bool = True) -> QuantumCircuit:
+    """Lower every gate of ``circuit`` to the elementary basis."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name + "_elem")
+    for gate in circuit.gates:
+        out.extend(decompose_gate(gate, keep_ccx))
+    return out

@@ -1,0 +1,24 @@
+"""The paper's benchmark circuit families (Table I) and case studies."""
+
+from repro.circuits.library.ghz import ghz_circuit
+from repro.circuits.library.grover import grover_iteration
+from repro.circuits.library.bv import bernstein_vazirani
+from repro.circuits.library.qft import qft_circuit
+from repro.circuits.library.qrw import (qrw_step, qrw_shift,
+                                        qrw_noisy_kraus_circuits)
+from repro.circuits.library.bitflip import (bitflip_syndrome_circuit,
+                                            bitflip_kraus_circuits,
+                                            BITFLIP_OUTCOMES)
+from repro.circuits.library.random_circuits import random_circuit
+from repro.circuits.library.extensions import (qpe_circuit, w_state_circuit,
+                                               cuccaro_adder,
+                                               hidden_shift_circuit)
+
+__all__ = [
+    "ghz_circuit", "grover_iteration", "bernstein_vazirani", "qft_circuit",
+    "qrw_step", "qrw_shift", "qrw_noisy_kraus_circuits",
+    "bitflip_syndrome_circuit", "bitflip_kraus_circuits", "BITFLIP_OUTCOMES",
+    "random_circuit",
+    "qpe_circuit", "w_state_circuit", "cuccaro_adder",
+    "hidden_shift_circuit",
+]

@@ -1,0 +1,67 @@
+"""The 3-qubit bit-flip error-correction circuit (paper, Fig. 3).
+
+Six qubits: data qubits 0-2 carry the (possibly corrupted) codeword,
+ancillas 3-5 start in |0> and collect the syndrome through six CX
+gates.  Measuring the ancillas yields one of the four outcomes
+000, 101, 110, 011, identifying no error or a flip on data qubit
+1, 2, 3 respectively, and the correction X is applied accordingly —
+a *dynamic* circuit, modelled as four Kraus circuits (one per
+measurement branch, Section III.A.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+
+#: Measurement outcome -> data qubit to correct (None = no correction).
+#: Outcome bits are (ancilla3, ancilla4, ancilla5).
+BITFLIP_OUTCOMES: Dict[Tuple[int, int, int], Optional[int]] = {
+    (0, 0, 0): None,  # no error
+    (1, 0, 1): 0,     # flip on data qubit 0
+    (1, 1, 0): 1,     # flip on data qubit 1
+    (0, 1, 1): 2,     # flip on data qubit 2
+}
+
+#: (data qubit, ancilla) pairs of the six syndrome CX gates.
+_SYNDROME_PAIRS = [(0, 3), (1, 3), (1, 4), (2, 4), (0, 5), (2, 5)]
+
+
+def bitflip_syndrome_circuit() -> QuantumCircuit:
+    """The unitary syndrome-extraction part U (six CX gates)."""
+    circuit = QuantumCircuit(6, "bitflip_syndrome")
+    for data, ancilla in _SYNDROME_PAIRS:
+        circuit.cx(data, ancilla)
+    return circuit
+
+
+def bitflip_kraus_circuits() -> List[QuantumCircuit]:
+    """One Kraus circuit per measurement outcome.
+
+    Each circuit is ``(correction (x) |m><m|) U``: syndrome extraction,
+    ancilla projectors onto the outcome, then the classically
+    controlled X correction — e.g. ``T_101 = (X_1 (x) I (x) I (x)
+    |101><101|) U`` in the paper's notation.
+
+    After the measurement each branch also *resets* its ancillas to
+    |0> (an X per measured 1, classically controlled on the known
+    outcome).  The paper leaves this implicit: its claimed property
+    ``T(span{|100>, |010>, |001>}) = span{|000>}`` holds on the full
+    six-qubit space only if the syndrome register is returned to
+    |000>, as any real QEC cycle does before the next round.
+    """
+    circuits: List[QuantumCircuit] = []
+    for outcome, correction in BITFLIP_OUTCOMES.items():
+        label = "".join(str(b) for b in outcome)
+        circuit = bitflip_syndrome_circuit()
+        circuit.name = f"bitflip_T{label}"
+        for ancilla, bit in zip((3, 4, 5), outcome):
+            circuit.proj(ancilla, bit)
+        if correction is not None:
+            circuit.x(correction)
+        for ancilla, bit in zip((3, 4, 5), outcome):
+            if bit:
+                circuit.x(ancilla)
+        circuits.append(circuit)
+    return circuits

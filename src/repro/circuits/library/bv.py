@@ -1,0 +1,44 @@
+"""Bernstein-Vazirani circuits.
+
+``n - 1`` data qubits plus one oracle ancilla (last qubit).  The oracle
+computes the inner product with the hidden string via one CX per set
+bit.  With the ancilla prepared in |1> the circuit maps |0...0>|1> to
+|s>|1>.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+def bernstein_vazirani(num_qubits: int,
+                       secret: Optional[Sequence[int]] = None
+                       ) -> QuantumCircuit:
+    """The BV circuit on ``num_qubits`` (last qubit = oracle ancilla).
+
+    ``secret`` defaults to the all-ones string, which maximises the
+    oracle size (the convention giving the paper's linear #node rows).
+    """
+    if num_qubits < 2:
+        raise CircuitError("BV needs at least 1 data qubit + 1 ancilla")
+    data = num_qubits - 1
+    ancilla = num_qubits - 1
+    if secret is None:
+        secret = [1] * data
+    secret = list(secret)
+    if len(secret) != data:
+        raise CircuitError(f"secret length {len(secret)} != {data}")
+    circuit = QuantumCircuit(num_qubits, f"bv{num_qubits}")
+    for q in range(data):
+        circuit.h(q)
+    circuit.h(ancilla)
+    for q, bit in enumerate(secret):
+        if bit:
+            circuit.cx(q, ancilla)
+    for q in range(data):
+        circuit.h(q)
+    circuit.h(ancilla)
+    return circuit

@@ -1,0 +1,159 @@
+"""Extension circuit families beyond the paper's five benchmarks.
+
+These exercise the image computation engine on structurally different
+workloads: phase estimation (QFT + controlled powers), W-state
+preparation (rotations + controls), ripple-carry arithmetic (deep CX /
+CCX chains — the Cuccaro adder) and the Fourier-free hidden-shift
+circuit.  They back the repository's ablation benches and extra
+examples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library.qft import qft_circuit
+from repro.errors import CircuitError
+from repro.gates import library as gl
+
+
+def qpe_circuit(counting_qubits: int, phase: float) -> QuantumCircuit:
+    """Quantum phase estimation of ``U = P(2*pi*phase)`` (one target).
+
+    Qubits ``0..counting_qubits-1`` form the counting register; the
+    last qubit carries the eigenstate |1> of the phase gate.  The
+    inverse QFT on the counting register is inlined (without swaps, so
+    the readout is bit-reversed — standard for benchmark use).
+    """
+    if counting_qubits < 1:
+        raise CircuitError("QPE needs at least one counting qubit")
+    n = counting_qubits + 1
+    target = counting_qubits
+    circuit = QuantumCircuit(n, f"qpe{counting_qubits}")
+    for q in range(counting_qubits):
+        circuit.h(q)
+    for q in range(counting_qubits):
+        # counting qubit q controls U^(2^q): the little-endian phase
+        # accumulation matches the swap-free inverse QFT below, so the
+        # register reads out the phase big-endian with no extra
+        # reversal.
+        power = 2 ** q
+        theta = 2 * math.pi * phase * power
+        circuit.cp(theta, q, target)
+    inverse_qft = qft_circuit(counting_qubits).inverse()
+    circuit.extend(inverse_qft.gates)
+    return circuit
+
+
+def w_state_circuit(num_qubits: int) -> QuantumCircuit:
+    """Prepare the W state (uniform single-excitation superposition).
+
+    The standard cascade: rotate amplitude into qubit ``i`` with a
+    controlled Ry, then shift the excitation with CX.  Starting from
+    |10...0> (the initial subspace supplies the leading X).
+    """
+    if num_qubits < 2:
+        raise CircuitError("W state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, f"wstate{num_qubits}")
+    circuit.x(0)
+    for i in range(num_qubits - 1):
+        remaining = num_qubits - i
+        theta = 2 * math.acos(math.sqrt(1.0 / remaining))
+        # controlled-Ry(theta) from qubit i onto i+1
+        circuit.append(gl.cnu([i], i + 1, _ry_matrix(theta), name="cry"))
+        circuit.cx(i + 1, i)
+    return circuit
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def cuccaro_adder(register_size: int) -> QuantumCircuit:
+    """The CDKM (Cuccaro) ripple-carry adder: |a>|b> -> |a>|a+b>.
+
+    Register layout: ancilla carry-in (qubit 0), then interleaved
+    ``b_i, a_i`` from least significant, then carry-out — the standard
+    2n+2-qubit in-place adder built from CX and CCX only.
+    """
+    if register_size < 1:
+        raise CircuitError("adder needs at least 1-bit registers")
+    n = register_size
+    total = 2 * n + 2
+    circuit = QuantumCircuit(total, f"cuccaro{n}")
+
+    def b(i):   # b_i qubit (result register)
+        return 1 + 2 * i
+
+    def a(i):   # a_i qubit
+        return 2 + 2 * i
+
+    carry_in = 0
+    carry_out = total - 1
+
+    # MAJ cascades
+    def maj(c, bq, aq):
+        circuit.cx(aq, bq)
+        circuit.cx(aq, c)
+        circuit.ccx(c, bq, aq)
+
+    def uma(c, bq, aq):
+        circuit.ccx(c, bq, aq)
+        circuit.cx(aq, c)
+        circuit.cx(c, bq)
+
+    maj(carry_in, b(0), a(0))
+    for i in range(1, n):
+        maj(a(i - 1), b(i), a(i))
+    circuit.cx(a(n - 1), carry_out)
+    for i in range(n - 1, 0, -1):
+        uma(a(i - 1), b(i), a(i))
+    uma(carry_in, b(0), a(0))
+    return circuit
+
+
+def hidden_shift_circuit(num_qubits: int,
+                         shift: Optional[Sequence[int]] = None
+                         ) -> QuantumCircuit:
+    """A bent-function hidden-shift circuit (CZ-dual-function form).
+
+    For the Maiorana-McFarland bent function ``f(x, y) = x . y`` the
+    circuit ``H^n (Z-shift) CZ-layer H^n CZ-layer (shift) H^n`` maps
+    |0...0> to |s> — a Clifford benchmark with heavy diagonal layers
+    (hyper-edge dense, like QFT).  ``num_qubits`` must be even.
+    """
+    if num_qubits % 2 != 0 or num_qubits < 2:
+        raise CircuitError("hidden shift needs an even qubit count >= 2")
+    half = num_qubits // 2
+    if shift is None:
+        shift = [1] * num_qubits
+    shift = list(shift)
+    if len(shift) != num_qubits:
+        raise CircuitError("shift length mismatch")
+    circuit = QuantumCircuit(num_qubits, f"hiddenshift{num_qubits}")
+
+    def cz_layer():
+        for i in range(half):
+            circuit.cz(i, half + i)
+
+    def shift_layer():
+        for q, bit in enumerate(shift):
+            if bit:
+                circuit.x(q)
+
+    for q in range(num_qubits):
+        circuit.h(q)
+    shift_layer()
+    cz_layer()
+    shift_layer()
+    for q in range(num_qubits):
+        circuit.h(q)
+    cz_layer()
+    for q in range(num_qubits):
+        circuit.h(q)
+    return circuit

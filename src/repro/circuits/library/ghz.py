@@ -1,0 +1,18 @@
+"""GHZ-state preparation circuits."""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """H on qubit 0 followed by a CX chain: |0...0> -> GHZ_n.
+
+    The standard preparation circuit used for the paper's ``GHZ n``
+    benchmark rows.
+    """
+    circuit = QuantumCircuit(num_qubits, f"ghz{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit

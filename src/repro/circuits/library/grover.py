@@ -1,0 +1,45 @@
+"""Grover iteration circuits (paper, Fig. 2, generalised to n qubits).
+
+The circuit acts on ``n = m + 1`` qubits: *m* search qubits plus one
+oracle ancilla (prepared in |-> by the initial subspace).  The oracle
+marks the all-ones assignment ``f(x) = x_1 AND ... AND x_m`` with a
+C^m(X) onto the ancilla; the diffusion operator ``2|psi><psi| - I`` on
+the search qubits is the standard H/X sandwich around a multi-
+controlled X conjugated by H on the last search qubit.  For ``m = 2``
+this reproduces Fig. 2 gate-for-gate (CCX oracle + 2-qubit reflection).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+def grover_iteration(num_qubits: int) -> QuantumCircuit:
+    """One Grover iteration on ``num_qubits`` = search + 1 ancilla."""
+    if num_qubits < 3:
+        raise CircuitError("Grover iteration needs >= 2 search qubits "
+                           "+ 1 ancilla")
+    m = num_qubits - 1
+    ancilla = num_qubits - 1
+    search = list(range(m))
+    circuit = QuantumCircuit(num_qubits, f"grover{num_qubits}")
+    # Oracle: phase kickback via C^m(X) on the |-> ancilla.
+    circuit.cnx(search, ancilla)
+    # Diffusion 2|psi><psi| - I on the search register.
+    for q in search:
+        circuit.h(q)
+    for q in search:
+        circuit.x(q)
+    last = search[-1]
+    if m == 1:
+        circuit.z(last)
+    else:
+        circuit.h(last)
+        circuit.cnx(search[:-1], last)
+        circuit.h(last)
+    for q in search:
+        circuit.x(q)
+    for q in search:
+        circuit.h(q)
+    return circuit

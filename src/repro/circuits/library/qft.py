@@ -1,0 +1,32 @@
+"""Quantum Fourier transform circuits.
+
+The textbook ladder: H on each qubit followed by controlled phase
+rotations CP(pi/2^k); terminal swaps omitted (they only relabel
+qubits and are conventionally dropped in TDD benchmarks).  All CP gates
+are diagonal, so the tensor network is hyper-edge dense — the family
+where contraction partition shines in the paper's Table I.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def qft_circuit(num_qubits: int, max_distance: int = 0) -> QuantumCircuit:
+    """The QFT on ``num_qubits``.
+
+    ``max_distance`` (if positive) truncates rotations beyond that
+    qubit distance — the standard *approximate* QFT used for very wide
+    instances; 0 keeps every rotation (exact QFT).
+    """
+    circuit = QuantumCircuit(num_qubits, f"qft{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            distance = control - target
+            if max_distance and distance > max_distance:
+                break
+            circuit.cp(math.pi / (2 ** distance), control, target)
+    return circuit

@@ -1,0 +1,76 @@
+"""Quantum random walk on a cycle (paper, Fig. 4, generalised).
+
+One coin qubit (qubit 0) plus ``n - 1`` position qubits walking a
+``2^(n-1)``-length cycle.  A step is the Hadamard coin followed by the
+conditional shift ``S = S_0 (+) S_1``: decrement the position when the
+coin shows 0, increment when it shows 1.  Increment/decrement are the
+standard ripple cascades of multi-controlled X gates (anti-controls for
+the decrement), exactly the C^n(X) towers drawn in Fig. 4.
+
+The noisy variant (Section III.A.3) inserts a bit-flip channel
+``E_b = { sqrt(p) I, sqrt(1-p) X }`` on the coin after the Hadamard,
+yielding two Kraus circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import CircuitError
+
+
+def qrw_shift(num_qubits: int) -> QuantumCircuit:
+    """The conditional shift S = S_0 (+) S_1 (coin = qubit 0)."""
+    if num_qubits < 2:
+        raise CircuitError("QRW needs a coin qubit + >= 1 position qubit")
+    coin = 0
+    position = list(range(1, num_qubits))
+    circuit = QuantumCircuit(num_qubits, f"qrw_shift{num_qubits}")
+    # Increment (coin = 1): flip bit i when all less-significant bits
+    # are 1; most-significant first so controls read pre-flip values.
+    for i in range(len(position)):
+        lower = position[i + 1:]
+        controls = [coin] + lower
+        states = [1] * len(controls)
+        circuit.cnx(controls, position[i], states)
+    # Decrement (coin = 0): flip bit i when all less-significant bits
+    # are 0 (borrow ripple), with anti-controls.
+    for i in range(len(position)):
+        lower = position[i + 1:]
+        controls = [coin] + lower
+        states = [0] * len(controls)
+        circuit.cnx(controls, position[i], states)
+    return circuit
+
+
+def qrw_step(num_qubits: int) -> QuantumCircuit:
+    """One noiseless walk step: Hadamard coin, then the shift."""
+    circuit = QuantumCircuit(num_qubits, f"qrw{num_qubits}")
+    circuit.h(0)
+    circuit.extend(qrw_shift(num_qubits).gates)
+    return circuit
+
+
+def qrw_noisy_kraus_circuits(num_qubits: int, probability: float
+                             ) -> Tuple[QuantumCircuit, QuantumCircuit]:
+    """The two Kraus circuits of a step with coin bit-flip noise.
+
+    Returns ``(sqrt(p) * [H; S], sqrt(1-p) * [H; X; S])`` — the
+    operation ``T_2 = S o (E_b (x) I) o (E_c (x) I)`` of Section
+    III.A.3.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise CircuitError("probability must lie in [0, 1]")
+    shift = qrw_shift(num_qubits)
+    keep = QuantumCircuit(num_qubits, f"qrw{num_qubits}_kI")
+    keep.h(0)
+    keep.scalar(math.sqrt(probability))
+    keep.extend(shift.gates)
+    flip = QuantumCircuit(num_qubits, f"qrw{num_qubits}_kX")
+    flip.h(0)
+    flip.scalar(math.sqrt(1.0 - probability))
+    flip.x(0)
+    flip.extend(shift.gates)
+    return keep, flip

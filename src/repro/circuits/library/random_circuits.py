@@ -1,0 +1,53 @@
+"""Random circuit generation for property-based testing."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+#: Single-qubit gate menu: (method name, needs angle).
+_SINGLE = [("h", False), ("x", False), ("y", False), ("z", False),
+           ("s", False), ("t", False), ("rx", True), ("ry", True),
+           ("rz", True), ("p", True)]
+
+
+def random_circuit(num_qubits: int, num_gates: int,
+                   seed: Optional[int] = None,
+                   two_qubit_fraction: float = 0.4,
+                   allow_ccx: bool = True) -> QuantumCircuit:
+    """A random unitary circuit (for differential testing).
+
+    Gate mix: single-qubit Cliffords + rotations, CX/CZ/CP and
+    (optionally) CCX, with uniformly random placements and angles.
+    Deterministic for a fixed ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, f"random{num_qubits}x{num_gates}")
+    for _ in range(num_gates):
+        roll = rng.random()
+        if num_qubits >= 2 and roll < two_qubit_fraction:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            kind = rng.integers(0, 4 if (allow_ccx and num_qubits >= 3)
+                                else 3)
+            if kind == 0:
+                circuit.cx(int(a), int(b))
+            elif kind == 1:
+                circuit.cz(int(a), int(b))
+            elif kind == 2:
+                circuit.cp(float(rng.uniform(0, 2 * math.pi)),
+                           int(a), int(b))
+            else:
+                qubits = rng.choice(num_qubits, size=3, replace=False)
+                circuit.ccx(int(qubits[0]), int(qubits[1]), int(qubits[2]))
+        else:
+            name, needs_angle = _SINGLE[rng.integers(0, len(_SINGLE))]
+            q = int(rng.integers(0, num_qubits))
+            if needs_angle:
+                getattr(circuit, name)(float(rng.uniform(0, 2 * math.pi)), q)
+            else:
+                getattr(circuit, name)(q)
+    return circuit

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``image``  — one-step image computation on a built-in model,
+* ``reach``  — reachability fixpoint,
+* ``invariant`` — check ``T(S0) <= S0`` (``--strict`` for equality),
+* ``table1`` / ``table2`` — forward to the benchmark harnesses.
+
+Examples::
+
+    python -m repro image grover --size 4 --method contraction
+    python -m repro reach qrw --size 4 --frontier
+    python -m repro invariant grover --size 4 --initial invariant
+    python -m repro table1 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.image.engine import compute_image
+from repro.mc.invariants import is_invariant
+from repro.mc.reachability import reachable_space
+from repro.systems import models
+
+#: model name -> builder(size, args)
+_MODELS: Dict[str, Callable] = {
+    "ghz": lambda size, args: models.ghz_qts(size),
+    "grover": lambda size, args: models.grover_qts(
+        size, initial=args.initial, iterations=args.iterations),
+    "bv": lambda size, args: models.bv_qts(size),
+    "qft": lambda size, args: models.qft_qts(size),
+    "qrw": lambda size, args: models.qrw_qts(
+        size, args.noise, steps=args.steps),
+    "bitflip": lambda size, args: models.bitflip_qts(),
+    "qpe": lambda size, args: models.qpe_qts(size, args.phase),
+    "wstate": lambda size, args: models.w_state_qts(size),
+    "hiddenshift": lambda size, args: models.hidden_shift_qts(size),
+}
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", choices=sorted(_MODELS))
+    parser.add_argument("--size", type=int, default=4,
+                        help="qubit count (ignored for bitflip)")
+    parser.add_argument("--method", default="contraction",
+                        choices=["basic", "addition", "contraction",
+                                 "hybrid"])
+    parser.add_argument("--k", type=int, default=1,
+                        help="addition partition slice count")
+    parser.add_argument("--k1", type=int, default=4)
+    parser.add_argument("--k2", type=int, default=4)
+    parser.add_argument("--initial", default="plus",
+                        help="grover initial space (plus|invariant)")
+    parser.add_argument("--iterations", type=int, default=1,
+                        help="grover iterations per transition")
+    parser.add_argument("--steps", type=int, default=1,
+                        help="qrw steps per transition")
+    parser.add_argument("--noise", type=float, default=0.1,
+                        help="qrw coin bit-flip probability")
+    parser.add_argument("--phase", type=float, default=0.625,
+                        help="qpe phase to estimate")
+
+
+def _method_params(args) -> dict:
+    if args.method == "addition":
+        return {"k": args.k}
+    if args.method == "contraction":
+        return {"k1": args.k1, "k2": args.k2}
+    if args.method == "hybrid":
+        return {"k": args.k, "k1": args.k1, "k2": args.k2}
+    return {}
+
+
+def _build(args):
+    return _MODELS[args.model](args.size, args)
+
+
+def _cmd_image(args) -> int:
+    result = compute_image(_build(args), method=args.method,
+                           **_method_params(args))
+    print(f"model={args.model}{args.size} method={args.method}")
+    print(f"dim(T(S0)) = {result.dimension}")
+    print(f"time       = {result.stats.seconds:.3f} s")
+    print(f"max #node  = {result.stats.max_nodes}")
+    return 0
+
+
+def _cmd_reach(args) -> int:
+    trace = reachable_space(_build(args), method=args.method,
+                            frontier=args.frontier, **_method_params(args))
+    print(f"model={args.model}{args.size} method={args.method} "
+          f"frontier={args.frontier}")
+    print(f"dimensions = {trace.dimensions}")
+    print(f"converged  = {trace.converged} "
+          f"({trace.iterations} iterations)")
+    print(f"time       = {trace.stats.seconds:.3f} s")
+    print(f"max #node  = {trace.stats.max_nodes}")
+    return 0
+
+
+def _cmd_invariant(args) -> int:
+    holds = is_invariant(_build(args), method=args.method,
+                         strict=args.strict, **_method_params(args))
+    relation = "=" if args.strict else "<="
+    print(f"T(S0) {relation} S0 for {args.model}{args.size}: {holds}")
+    return 0 if holds else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Image computation for quantum "
+                                  "transition systems (DATE 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    image = sub.add_parser("image", help="one-step image computation")
+    _add_model_arguments(image)
+    image.set_defaults(func=_cmd_image)
+
+    reach = sub.add_parser("reach", help="reachability fixpoint")
+    _add_model_arguments(reach)
+    reach.add_argument("--frontier", action="store_true")
+    reach.set_defaults(func=_cmd_reach)
+
+    invariant = sub.add_parser("invariant", help="check T(S0) <= S0")
+    _add_model_arguments(invariant)
+    invariant.add_argument("--strict", action="store_true")
+    invariant.set_defaults(func=_cmd_invariant)
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--scale", default="small",
+                        choices=["small", "medium", "paper"])
+    table1.set_defaults(func=lambda args: __import__(
+        "repro.bench.table1", fromlist=["main"]).main(
+            ["--scale", args.scale]))
+
+    table2 = sub.add_parser("table2", help="regenerate Table II")
+    table2.add_argument("--qubits", type=int, default=7)
+    table2.add_argument("--kmax", type=int, default=6)
+    table2.set_defaults(func=lambda args: __import__(
+        "repro.bench.table2", fromlist=["main"]).main(
+            ["--qubits", str(args.qubits), "--kmax", str(args.kmax)]))
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

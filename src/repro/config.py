@@ -1,0 +1,31 @@
+"""Global numeric configuration for the repro package.
+
+Tensor decision diagrams require *hashable* edge weights for the unique
+table, so complex amplitudes are rounded to a fixed number of decimal
+digits before being used as canonicalisation keys.  All tolerances used
+anywhere in the package live here so that they can be tuned in one place.
+"""
+
+from __future__ import annotations
+
+#: Number of decimal digits kept when rounding complex weights for the
+#: TDD unique table.  12 digits keeps double-precision round-off noise out
+#: of the canonical form while preserving every amplitude that occurs in
+#: the paper's benchmark circuits.
+WEIGHT_DECIMALS: int = 12
+
+#: Magnitude below which a complex weight is treated as exactly zero.
+WEIGHT_EPS: float = 1e-10
+
+#: Norm below which a candidate basis vector produced by Gram-Schmidt is
+#: discarded as already lying in the subspace (paper, Section IV.B).
+GS_EPS: float = 1e-8
+
+#: Tolerance for comparing subspace projectors / amplitudes in checks.
+CHECK_EPS: float = 1e-7
+
+#: Default parameters for the partition-based image computation schemes,
+#: matching the values used for Table I of the paper.
+DEFAULT_ADDITION_K: int = 1
+DEFAULT_CONTRACTION_K1: int = 4
+DEFAULT_CONTRACTION_K2: int = 4

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IndexError_(ReproError):
+    """An index was used inconsistently (duplicate, unknown, bad order)."""
+
+
+class TDDError(ReproError):
+    """A TDD operation received incompatible operands."""
+
+
+class CircuitError(ReproError):
+    """A circuit was constructed or used incorrectly."""
+
+
+class SubspaceError(ReproError):
+    """A subspace operation received invalid input."""
+
+
+class SystemError_(ReproError):
+    """A quantum transition system was constructed incorrectly."""
+
+
+class PartitionError(ReproError):
+    """A circuit partition request could not be satisfied."""

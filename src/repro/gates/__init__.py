@@ -1,0 +1,7 @@
+"""Quantum gates: matrices, the :class:`Gate` value type and builders."""
+
+from repro.gates.gate import Gate
+from repro.gates import library
+from repro.gates import matrices
+
+__all__ = ["Gate", "library", "matrices"]

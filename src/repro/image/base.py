@@ -1,0 +1,83 @@
+"""Shared plumbing for the image computation algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.indices.index import Index
+from repro.subspace.subspace import StateSpace, Subspace
+from repro.systems.qts import QuantumTransitionSystem
+from repro.tdd.tdd import TDD
+from repro.utils.stats import StatsRecorder
+
+
+@dataclass
+class ImageResult:
+    """The outcome of one image computation: ``T(S)`` plus run costs."""
+
+    subspace: Subspace
+    stats: StatsRecorder
+
+    @property
+    def dimension(self) -> int:
+        return self.subspace.dimension
+
+
+def rename_outputs_to_kets(space: StateSpace, state: TDD,
+                           outputs: Sequence[Index]) -> TDD:
+    """Relabel a circuit-output state back onto the canonical kets.
+
+    ``outputs[q]`` is the last wire index of qubit *q*; wires never
+    advanced by the circuit already carry the ket name and map
+    identically.
+    """
+    mapping = {}
+    for qubit, out_idx in enumerate(outputs):
+        ket = space.kets[qubit]
+        if out_idx != ket:
+            mapping[out_idx] = ket
+    if not mapping:
+        return state
+    return state.rename(mapping)
+
+
+def input_sum_indices(inputs: Sequence[Index],
+                      outputs: Sequence[Index]) -> List[Index]:
+    """The circuit-input indices consumed by applying the operator.
+
+    Fused wires (diagonal-only qubits) keep a single shared index that
+    serves as both input and output and therefore must stay free.
+    """
+    output_set = set(outputs)
+    return [idx for idx in inputs if idx not in output_set]
+
+
+class ImageComputerBase:
+    """Common state for the three algorithms: system + per-circuit caches."""
+
+    method: str = "abstract"
+
+    def __init__(self, qts: QuantumTransitionSystem) -> None:
+        self.qts = qts
+
+    def image(self, subspace: Optional[Subspace] = None,
+              stats: Optional[StatsRecorder] = None) -> ImageResult:
+        """Compute ``T(S)`` (defaults: ``S`` = the system's initial space)."""
+        if subspace is None:
+            subspace = self.qts.initial
+        if stats is None:
+            stats = StatsRecorder()
+        result = Subspace(self.qts.space)
+        for state in subspace.basis:
+            for image_state in self._images_of_state(state, stats):
+                stats.observe_tdd(image_state)
+                added = result.add_state(image_state)
+                if added is not None:
+                    stats.observe_tdd(added)
+        stats.observe_nodes(result.projector.size())
+        return ImageResult(result, stats)
+
+    # subclasses implement: all Kraus-operator images of one basis state
+    def _images_of_state(self, state: TDD, stats: StatsRecorder):
+        raise NotImplementedError

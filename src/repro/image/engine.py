@@ -1,0 +1,52 @@
+"""Uniform entry point for the three image computation methods."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.image.addition import AdditionImageComputer
+from repro.image.base import ImageComputerBase, ImageResult
+from repro.image.basic import BasicImageComputer
+from repro.image.contraction import ContractionImageComputer
+from repro.image.hybrid import HybridImageComputer
+from repro.subspace.subspace import Subspace
+from repro.systems.qts import QuantumTransitionSystem
+from repro.utils.stats import StatsRecorder
+from repro.utils.timing import Stopwatch
+
+METHODS = ("basic", "addition", "contraction", "hybrid")
+
+
+def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
+                  **params) -> ImageComputerBase:
+    """Instantiate an image computer by method name.
+
+    ``params``: ``k`` for addition, ``k1``/``k2``/``order_policy`` for
+    contraction.
+    """
+    if method == "basic":
+        if params:
+            raise ReproError(f"basic method takes no parameters, got "
+                             f"{sorted(params)}")
+        return BasicImageComputer(qts)
+    if method == "addition":
+        return AdditionImageComputer(qts, **params)
+    if method == "contraction":
+        return ContractionImageComputer(qts, **params)
+    if method == "hybrid":
+        return HybridImageComputer(qts, **params)
+    raise ReproError(f"unknown image method {method!r}; "
+                     f"choose from {METHODS}")
+
+
+def compute_image(qts: QuantumTransitionSystem,
+                  subspace: Optional[Subspace] = None,
+                  method: str = "basic", **params) -> ImageResult:
+    """Compute ``T(S)`` and record wall time + peak TDD node count."""
+    computer = make_computer(qts, method, **params)
+    stats = StatsRecorder()
+    watch = Stopwatch().start()
+    result = computer.image(subspace, stats)
+    stats.seconds = watch.stop()
+    return result

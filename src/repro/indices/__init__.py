@@ -1,0 +1,6 @@
+"""Tensor index algebra: named indices and global index orders."""
+
+from repro.indices.index import Index, wire
+from repro.indices.order import IndexOrder
+
+__all__ = ["Index", "wire", "IndexOrder"]

@@ -1,0 +1,63 @@
+"""Named tensor indices.
+
+Every tensor leg in this package is identified by an :class:`Index`.  A
+quantum circuit viewed as a tensor network (paper, Fig. 2) labels its
+legs ``x_i^j`` — the *j*-th index on qubit *i*.  We keep those
+coordinates on the index object so that order policies and the circuit
+partitioner can reason about qubit/time locality, but identity (equality
+and hashing) is by name alone: two indices with the same name are the
+same leg.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Index:
+    """An immutable named tensor index taking values in {0, 1}.
+
+    Parameters
+    ----------
+    name:
+        Globally unique identifier for the leg.
+    qubit, time:
+        Optional circuit coordinates: ``x_i^j`` has ``qubit=i``,
+        ``time=j``.  Purely advisory; identity is by ``name``.
+    """
+
+    __slots__ = ("name", "qubit", "time")
+
+    def __init__(self, name: str, qubit: Optional[int] = None,
+                 time: Optional[int] = None) -> None:
+        if not name:
+            raise ValueError("index name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "qubit", qubit)
+        object.__setattr__(self, "time", time)
+
+    def __setattr__(self, *_args) -> None:  # pragma: no cover - guard
+        raise AttributeError("Index is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Index):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"Index({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def wire(qubit: int, time: int) -> Index:
+    """The circuit wire index ``x_qubit^time`` (paper notation ``x_i^j``).
+
+    >>> wire(2, 0).name
+    'x2_0'
+    """
+    return Index(f"x{qubit}_{time}", qubit=qubit, time=time)

@@ -1,0 +1,21 @@
+"""Model checking on quantum transition systems.
+
+Reachability by image-computation fixpoint, plus the subspace-logic
+property checks (invariance, containment, eventual confinement) that
+the paper's Section III case studies exercise.
+"""
+
+from repro.mc.reachability import reachable_space, ReachabilityTrace
+from repro.mc.invariants import (is_invariant, image_equals, image_contained_in)
+from repro.mc.checker import ModelChecker
+from repro.mc.logic import (Atomic, Join, Meet, Not, Proposition,
+                            check_always, check_eventually_overlaps,
+                            satisfies)
+
+__all__ = [
+    "reachable_space", "ReachabilityTrace",
+    "is_invariant", "image_equals", "image_contained_in",
+    "ModelChecker",
+    "Atomic", "Join", "Meet", "Not", "Proposition",
+    "check_always", "check_eventually_overlaps", "satisfies",
+]

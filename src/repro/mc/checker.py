@@ -1,0 +1,60 @@
+"""The :class:`ModelChecker` facade.
+
+Bundles a QTS with a chosen image computation method and exposes the
+checks a user actually runs: one-step images, reachability, invariance
+and safety.  This is the top of the public API — see
+``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.image.base import ImageResult
+from repro.image.engine import compute_image
+from repro.mc.invariants import (image_contained_in, image_equals,
+                                 is_invariant)
+from repro.mc.reachability import ReachabilityTrace, reachable_space
+from repro.subspace.subspace import Subspace
+from repro.systems.qts import QuantumTransitionSystem
+
+
+class ModelChecker:
+    """Model checking driver for one quantum transition system."""
+
+    def __init__(self, qts: QuantumTransitionSystem,
+                 method: str = "contraction", **params) -> None:
+        self.qts = qts
+        self.method = method
+        self.params = dict(params)
+
+    # ------------------------------------------------------------------
+    def image(self, subspace: Optional[Subspace] = None) -> ImageResult:
+        """One-step image ``T(S)`` with run statistics."""
+        return compute_image(self.qts, subspace, self.method, **self.params)
+
+    def reachable(self, max_iterations: int = 0) -> ReachabilityTrace:
+        """The reachable subspace from the initial space."""
+        return reachable_space(self.qts, self.method,
+                               max_iterations=max_iterations, **self.params)
+
+    # ------------------------------------------------------------------
+    def check_invariant(self, subspace: Optional[Subspace] = None,
+                        strict: bool = False) -> bool:
+        """Does the system stay inside ``S`` (``T(S) <= S``)?"""
+        return is_invariant(self.qts, subspace, self.method, strict,
+                            **self.params)
+
+    def check_image_equals(self, expected: Subspace,
+                           subspace: Optional[Subspace] = None) -> bool:
+        return image_equals(self.qts, expected, subspace, self.method,
+                            **self.params)
+
+    def check_safety(self, bound: Subspace,
+                     max_iterations: int = 0) -> bool:
+        """Is every reachable state inside ``bound``?"""
+        trace = self.reachable(max_iterations)
+        return bound.contains(trace.subspace)
+
+    def __repr__(self) -> str:
+        return f"ModelChecker({self.qts.name!r}, method={self.method!r})"

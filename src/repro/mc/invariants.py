@@ -1,0 +1,50 @@
+"""Subspace property checks built on image computation.
+
+These are the checks the paper's case studies perform: invariance
+``T(S) = S`` for the Grover subspace (Section III.A.1), image equality
+against an expected subspace for the bit-flip corrector (III.A.2) and
+image containment for the noisy walk (III.A.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.image.engine import compute_image
+from repro.subspace.subspace import Subspace
+from repro.systems.qts import QuantumTransitionSystem
+
+
+def image_of(qts: QuantumTransitionSystem,
+             subspace: Optional[Subspace] = None,
+             method: str = "basic", **params) -> Subspace:
+    return compute_image(qts, subspace, method, **params).subspace
+
+
+def is_invariant(qts: QuantumTransitionSystem,
+                 subspace: Optional[Subspace] = None,
+                 method: str = "basic", strict: bool = False,
+                 **params) -> bool:
+    """``T(S) <= S`` (or ``T(S) = S`` when ``strict``)."""
+    if subspace is None:
+        subspace = qts.initial
+    image = image_of(qts, subspace, method, **params)
+    if strict:
+        return image.equals(subspace)
+    return subspace.contains(image)
+
+
+def image_equals(qts: QuantumTransitionSystem, expected: Subspace,
+                 subspace: Optional[Subspace] = None,
+                 method: str = "basic", **params) -> bool:
+    """``T(S) = expected``."""
+    image = image_of(qts, subspace, method, **params)
+    return image.equals(expected)
+
+
+def image_contained_in(qts: QuantumTransitionSystem, bound: Subspace,
+                       subspace: Optional[Subspace] = None,
+                       method: str = "basic", **params) -> bool:
+    """``T(S) <= bound`` (safety: one step never leaves ``bound``)."""
+    image = image_of(qts, subspace, method, **params)
+    return bound.contains(image)

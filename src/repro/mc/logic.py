@@ -1,0 +1,129 @@
+"""Birkhoff-von Neumann quantum logic over subspaces.
+
+The paper's motivating specification language ([14] in its reference
+list) treats atomic propositions as closed subspaces of the state
+space: conjunction is the lattice meet, disjunction the join, and
+negation the orthocomplement.  This module gives those connectives a
+small propositional AST plus the temporal checks the case studies use:
+
+* ``check_always`` — AG φ: every reachable state satisfies φ,
+* ``check_eventually_overlaps`` — EF-style: the reachable space is not
+  orthogonal to φ (some reachable state has a component in φ).
+
+A pure state ``|ψ⟩`` *satisfies* a proposition φ iff ``|ψ⟩`` lies in
+the denoted subspace — the standard BvN satisfaction relation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mc.reachability import reachable_space
+from repro.subspace.subspace import StateSpace, Subspace
+from repro.systems.qts import QuantumTransitionSystem
+from repro.tdd.tdd import TDD
+
+
+class Proposition:
+    """A quantum-logic formula; ``denote(space)`` yields its subspace."""
+
+    def denote(self, space: StateSpace) -> Subspace:
+        raise NotImplementedError
+
+    # connective sugar -------------------------------------------------
+    def __and__(self, other: "Proposition") -> "Proposition":
+        return Meet(self, other)
+
+    def __or__(self, other: "Proposition") -> "Proposition":
+        return Join(self, other)
+
+    def __invert__(self) -> "Proposition":
+        return Not(self)
+
+
+class Atomic(Proposition):
+    """An atomic proposition: a subspace given directly."""
+
+    def __init__(self, subspace: Subspace, name: str = "p") -> None:
+        self.subspace = subspace
+        self.name = name
+
+    def denote(self, space: StateSpace) -> Subspace:
+        if self.subspace.space is not space:
+            raise ValueError(f"atomic {self.name!r} denotes a subspace of "
+                             f"a different state space")
+        return self.subspace
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Meet(Proposition):
+    """Conjunction: the lattice meet (subspace intersection)."""
+
+    def __init__(self, left: Proposition, right: Proposition) -> None:
+        self.left = left
+        self.right = right
+
+    def denote(self, space: StateSpace) -> Subspace:
+        return self.left.denote(space).meet(self.right.denote(space))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+class Join(Proposition):
+    """Disjunction: the lattice join (closed span of the union)."""
+
+    def __init__(self, left: Proposition, right: Proposition) -> None:
+        self.left = left
+        self.right = right
+
+    def denote(self, space: StateSpace) -> Subspace:
+        return self.left.denote(space).join(self.right.denote(space))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+class Not(Proposition):
+    """Negation: the orthocomplement."""
+
+    def __init__(self, inner: Proposition) -> None:
+        self.inner = inner
+
+    def denote(self, space: StateSpace) -> Subspace:
+        return self.inner.denote(space).complement()
+
+    def __repr__(self) -> str:
+        return f"~{self.inner!r}"
+
+
+# ----------------------------------------------------------------------
+# satisfaction and temporal checks
+# ----------------------------------------------------------------------
+def satisfies(state: TDD, prop: Proposition, space: StateSpace,
+              tol: float = 1e-7) -> bool:
+    """BvN satisfaction: ``|state>`` lies in the denoted subspace."""
+    return prop.denote(space).contains_state(state, tol)
+
+
+def check_always(qts: QuantumTransitionSystem, prop: Proposition,
+                 method: str = "contraction", **params) -> bool:
+    """AG φ: the reachable space is contained in [[φ]]."""
+    trace = reachable_space(qts, method=method, **params)
+    return prop.denote(qts.space).contains(trace.subspace)
+
+
+def check_eventually_overlaps(qts: QuantumTransitionSystem,
+                              prop: Proposition,
+                              method: str = "contraction",
+                              **params) -> bool:
+    """Can the system ever produce a state with a component in [[φ]]?
+
+    True iff the reachable space is not orthogonal to the denoted
+    subspace (a necessary condition for EF φ; exact for 1-dimensional
+    reachable spaces).
+    """
+    trace = reachable_space(qts, method=method, **params)
+    return not trace.subspace.is_orthogonal_to(prop.denote(qts.space))

@@ -1,0 +1,137 @@
+"""Monte-Carlo cross-validation of symbolic results.
+
+A second, independent line of defence behind the dense oracle: sample
+random pure states from a subspace, push them through the transition
+operations with the dense simulator, and check that the *symbolically*
+computed image contains every sampled outcome.  Disagreement pinpoints
+which Kraus branch and which input state broke.
+
+This is how a practitioner would sanity-check the engine on a system
+slightly too large for full dense comparison but small enough to
+simulate single states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.subspace.subspace import Subspace
+from repro.systems.qts import QuantumTransitionSystem
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one Monte-Carlo validation run."""
+
+    samples: int
+    failures: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} failures"
+        return f"ValidationReport(samples={self.samples}, {status})"
+
+
+def sample_state(subspace: Subspace,
+                 rng: np.random.Generator) -> np.ndarray:
+    """A Haar-ish random unit vector inside ``subspace`` (dense)."""
+    k = subspace.dimension
+    if k == 0:
+        raise ValueError("cannot sample from the zero subspace")
+    coefficients = rng.normal(size=k) + 1j * rng.normal(size=k)
+    coefficients /= np.linalg.norm(coefficients)
+    vector = np.zeros(2 ** subspace.space.num_qubits, dtype=complex)
+    for c, basis_vec in zip(coefficients, subspace.basis):
+        vector += c * basis_vec.to_numpy().reshape(-1)
+    return vector
+
+
+def validate_image(qts: QuantumTransitionSystem, image: Subspace,
+                   source: Optional[Subspace] = None,
+                   samples: int = 20, seed: int = 0,
+                   tol: float = 1e-7) -> ValidationReport:
+    """Check ``E|psi> in image`` for sampled ``|psi>`` and all Kraus E.
+
+    ``image`` should be (at least contain) the symbolic ``T(source)``.
+    """
+    if source is None:
+        source = qts.initial
+    rng = np.random.default_rng(seed)
+    image_projector = None
+    report = ValidationReport(samples=samples)
+    # dense Kraus matrices once
+    kraus = []
+    for op in qts.operations:
+        for j, matrix in enumerate(op.kraus_matrices()):
+            kraus.append((op.symbol, j, matrix))
+    dim = 2 ** qts.num_qubits
+    if image.dimension:
+        basis = np.stack([v.to_numpy().reshape(-1) for v in image.basis],
+                         axis=1)
+        image_projector = basis @ basis.conj().T
+    else:
+        image_projector = np.zeros((dim, dim), dtype=complex)
+
+    for sample_index in range(samples):
+        vector = sample_state(source, rng)
+        for symbol, branch, matrix in kraus:
+            out = matrix @ vector
+            norm = np.linalg.norm(out)
+            if norm < tol:
+                continue
+            residual = out - image_projector @ out
+            if np.linalg.norm(residual) > tol * norm:
+                report.failures.append({
+                    "sample": sample_index,
+                    "operation": symbol,
+                    "kraus": branch,
+                    "residual": float(np.linalg.norm(residual) / norm),
+                })
+    return report
+
+
+def validate_reachability(qts: QuantumTransitionSystem,
+                          reachable: Subspace,
+                          steps: int = 5, samples: int = 10,
+                          seed: int = 0,
+                          tol: float = 1e-7) -> ValidationReport:
+    """Random-walk validation: simulate ``steps`` random transitions
+    from random initial states and check each visited state stays in
+    the claimed reachable space."""
+    rng = np.random.default_rng(seed)
+    kraus = []
+    for op in qts.operations:
+        kraus.extend(op.kraus_matrices())
+    dim = 2 ** qts.num_qubits
+    if reachable.dimension:
+        basis = np.stack([v.to_numpy().reshape(-1)
+                          for v in reachable.basis], axis=1)
+        projector = basis @ basis.conj().T
+    else:
+        projector = np.zeros((dim, dim), dtype=complex)
+
+    report = ValidationReport(samples=samples)
+    for sample_index in range(samples):
+        vector = sample_state(qts.initial, rng)
+        for step in range(steps):
+            matrix = kraus[rng.integers(0, len(kraus))]
+            vector = matrix @ vector
+            norm = np.linalg.norm(vector)
+            if norm < tol:
+                break
+            vector = vector / norm
+            residual = vector - projector @ vector
+            if np.linalg.norm(residual) > tol:
+                report.failures.append({
+                    "sample": sample_index,
+                    "step": step,
+                    "residual": float(np.linalg.norm(residual)),
+                })
+                break
+    return report

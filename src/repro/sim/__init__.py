@@ -1,0 +1,19 @@
+"""Dense reference simulation substrate.
+
+Statevector and density-matrix simulation plus dense subspace algebra.
+Everything here is exponential in the qubit count and exists to
+cross-check the TDD image computation on small systems — it is the
+"ground truth" backend the test suite compares against.
+"""
+
+from repro.sim.statevector import (apply_gate, run_circuit, circuit_unitary,
+                                   basis_state_vector, uniform_state)
+from repro.sim.density import apply_kraus, channel_matrices, support_basis
+from repro.sim.subspace_dense import DenseSubspace
+
+__all__ = [
+    "apply_gate", "run_circuit", "circuit_unitary",
+    "basis_state_vector", "uniform_state",
+    "apply_kraus", "channel_matrices", "support_basis",
+    "DenseSubspace",
+]

@@ -1,0 +1,93 @@
+"""Dense subspaces of a 2^n-dimensional Hilbert space.
+
+:class:`DenseSubspace` is the numpy twin of the TDD-based
+:class:`~repro.subspace.subspace.Subspace`: an orthonormal basis stored
+as matrix columns, with join, image and containment implemented by
+standard linear algebra (SVD / QR).  The integration tests compare the
+TDD image computation against this implementation projector-by-
+projector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import SubspaceError
+
+
+class DenseSubspace:
+    """A subspace given by an orthonormal column basis."""
+
+    def __init__(self, basis: np.ndarray, dim: int) -> None:
+        if basis.ndim != 2 or basis.shape[0] != dim:
+            raise SubspaceError(f"basis must be ({dim}, k), got {basis.shape}")
+        self.basis = basis
+        self.dim = dim
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_vectors(vectors: Iterable[np.ndarray], dim: int,
+                     tol: float = 1e-9) -> "DenseSubspace":
+        """Span of arbitrary (possibly dependent, unnormalised) vectors."""
+        cols = [np.asarray(v, dtype=complex).reshape(-1) for v in vectors]
+        if not cols:
+            return DenseSubspace(np.zeros((dim, 0), dtype=complex), dim)
+        matrix = np.stack(cols, axis=1)
+        if matrix.shape[0] != dim:
+            raise SubspaceError("vector length mismatch")
+        u, s, _ = np.linalg.svd(matrix, full_matrices=False)
+        rank = int(np.sum(s > tol * max(1.0, s[0] if len(s) else 1.0)))
+        return DenseSubspace(u[:, :rank], dim)
+
+    @staticmethod
+    def zero(dim: int) -> "DenseSubspace":
+        return DenseSubspace(np.zeros((dim, 0), dtype=complex), dim)
+
+    @staticmethod
+    def full(dim: int) -> "DenseSubspace":
+        return DenseSubspace(np.eye(dim, dtype=complex), dim)
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.basis.shape[1]
+
+    def projector(self) -> np.ndarray:
+        return self.basis @ self.basis.conj().T
+
+    def join(self, other: "DenseSubspace") -> "DenseSubspace":
+        if other.dim != self.dim:
+            raise SubspaceError("dimension mismatch in join")
+        stacked = np.concatenate([self.basis, other.basis], axis=1)
+        return DenseSubspace.from_vectors(stacked.T, self.dim)
+
+    def image(self, kraus: Sequence[np.ndarray]) -> "DenseSubspace":
+        """``span { E_j v : v in basis }`` — Proposition 1 of the paper."""
+        vectors: List[np.ndarray] = []
+        for e in kraus:
+            for col in range(self.dimension):
+                vectors.append(e @ self.basis[:, col])
+        return DenseSubspace.from_vectors(vectors, self.dim)
+
+    # ------------------------------------------------------------------
+    def contains_vector(self, vector: np.ndarray, tol: float = 1e-7) -> bool:
+        v = np.asarray(vector, dtype=complex).reshape(-1)
+        norm = np.linalg.norm(v)
+        if norm < tol:
+            return True
+        residual = v - self.projector() @ v
+        return bool(np.linalg.norm(residual) <= tol * norm)
+
+    def contains(self, other: "DenseSubspace", tol: float = 1e-7) -> bool:
+        return all(self.contains_vector(other.basis[:, c], tol)
+                   for c in range(other.dimension))
+
+    def equals(self, other: "DenseSubspace", tol: float = 1e-7) -> bool:
+        return (self.dimension == other.dimension
+                and np.allclose(self.projector(), other.projector(),
+                                atol=tol))
+
+    def __repr__(self) -> str:
+        return f"DenseSubspace(dim={self.dim}, rank={self.dimension})"

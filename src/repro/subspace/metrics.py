@@ -1,0 +1,73 @@
+"""Subspace distance and angle metrics.
+
+Quantitative comparisons between subspaces, used by the test oracles
+and by anyone checking *how far* an implementation diverges rather
+than just whether it does:
+
+* ``projector_distance`` — Frobenius distance of the projectors,
+  computed entirely with TDD operations (works at any width),
+* ``principal_angles`` — the canonical angles between two subspaces
+  (dense; small systems only),
+* ``subspace_fidelity`` — ``tr(P1 P2) / max(dim)``, a normalised
+  overlap in [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import SubspaceError
+from repro.subspace.subspace import Subspace
+
+
+def projector_distance(first: Subspace, second: Subspace) -> float:
+    """``||P1 - P2||_F`` via TDD arithmetic (no dense expansion).
+
+    ``||P1 - P2||_F^2 = tr(P1) + tr(P2) - 2 tr(P1 P2)``
+                      = dim1 + dim2 - 2 * overlap.
+    """
+    if first.space is not second.space:
+        raise SubspaceError("subspaces live in different state spaces")
+    value = (first.dimension + second.dimension
+             - 2.0 * first.overlap(second))
+    return math.sqrt(max(0.0, value))
+
+
+def subspace_fidelity(first: Subspace, second: Subspace) -> float:
+    """Normalised overlap ``tr(P1 P2) / max(dim1, dim2)`` in [0, 1].
+
+    1 iff the subspaces are equal; 0 iff orthogonal.  The zero
+    subspace has fidelity 1 with itself and 0 with everything else.
+    """
+    if first.space is not second.space:
+        raise SubspaceError("subspaces live in different state spaces")
+    top = max(first.dimension, second.dimension)
+    if top == 0:
+        return 1.0
+    return min(1.0, first.overlap(second) / top)
+
+
+def principal_angles(first: Subspace, second: Subspace) -> List[float]:
+    """Canonical angles (radians, ascending) between two subspaces.
+
+    Dense computation (SVD of the cross-basis Gram matrix); intended
+    for systems small enough for ``to_dense``.
+    """
+    if first.space is not second.space:
+        raise SubspaceError("subspaces live in different state spaces")
+    if first.is_zero() or second.is_zero():
+        return []
+    a = np.stack([v.to_numpy().reshape(-1) for v in first.basis], axis=1)
+    b = np.stack([v.to_numpy().reshape(-1) for v in second.basis], axis=1)
+    singular = np.linalg.svd(a.conj().T @ b, compute_uv=False)
+    singular = np.clip(singular, 0.0, 1.0)
+    return [float(math.acos(s)) for s in sorted(singular, reverse=True)]
+
+
+def chordal_distance(first: Subspace, second: Subspace) -> float:
+    """``sqrt(sum sin^2(theta_i))`` over principal angles (dense)."""
+    angles = principal_angles(first, second)
+    return math.sqrt(sum(math.sin(a) ** 2 for a in angles))

@@ -1,0 +1,78 @@
+"""Projector utilities: application and basis decomposition.
+
+``basis_decompose`` implements Section IV.A of the paper: given the
+projector TDD ``P`` of a subspace, repeatedly locate the leftmost
+non-zero *column* (an assignment of the ket indices reached through the
+leftmost non-zero path of the diagram), normalise it into a basis
+vector ``|v>``, and deflate ``P <- P - |v><v|``.  Because ``P`` is a
+projector, every non-zero column is an eigenvector-combination lying in
+the subspace, and the deflation terminates after exactly ``dim``
+rounds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import GS_EPS
+from repro.errors import SubspaceError
+from repro.subspace.subspace import StateSpace, Subspace
+from repro.tdd.slicing import first_nonzero_assignment
+from repro.tdd.tdd import TDD
+
+
+def apply_projector(space: StateSpace, projector: TDD, state: TDD) -> TDD:
+    """``P |state>`` for a projector tensor P[bra, ket]."""
+    result = projector.contract(state, space.kets)
+    return result.rename(dict(zip(space.bras, space.kets)))
+
+
+def basis_decompose(space: StateSpace, projector: TDD,
+                    tol: float = GS_EPS,
+                    max_dim: int = 0) -> Subspace:
+    """Recover a :class:`Subspace` from a projector TDD (paper §IV.A).
+
+    ``projector`` must be (numerically) a projector over
+    ``(space.bras, space.kets)``.  ``max_dim`` bounds the number of
+    extracted vectors (0 = no bound) as a safety net against
+    non-projector input.
+    """
+    manager = space.manager
+    ket_levels = frozenset(manager.level(k) for k in space.kets)
+    limit = max_dim if max_dim > 0 else 2 ** space.num_qubits
+
+    out = Subspace(space)
+    current = projector
+    for _ in range(limit):
+        # Frobenius norm of what remains: a projector has norm
+        # sqrt(dim), so anything below tol is cancellation residue.
+        if current.is_zero or current.norm() <= tol:
+            break
+        assignment = first_nonzero_assignment(current.root, ket_levels)
+        if assignment is None:
+            break
+        # complete the partial assignment with zeros
+        bits = {}
+        for ket in space.kets:
+            bits[ket] = assignment.get(manager.level(ket), 0)
+        column = current.slice(bits)
+        # the column lives on the bras; bring it to the kets
+        column = column.rename(dict(zip(space.bras, space.kets)))
+        norm = column.norm()
+        if norm <= tol:
+            raise SubspaceError("non-zero path led to a negligible column; "
+                                "input is not a projector")
+        vector = column.scaled(1.0 / norm)
+        added = out.add_state(vector, tol=tol)
+        if added is None:
+            raise SubspaceError("extracted column already contained; "
+                                "input is not a projector")
+        # deflate:  P <- P - |v><v|
+        outer = vector.rename(dict(zip(space.kets, space.bras))).product(
+            vector.conj())
+        current = current - outer
+    else:
+        if not current.is_zero and current.norm() > tol:
+            raise SubspaceError("basis decomposition did not terminate: "
+                                "input is not a projector")
+    return out

@@ -1,0 +1,75 @@
+"""Partial trace of subspace projectors.
+
+For a dynamic circuit such as the bit-flip corrector, the property of
+interest often concerns only the *data* qubits; the syndrome register
+is scratch.  ``reduced_density`` traces a projector TDD (viewed as an
+unnormalised density operator) down to a subset of qubits, entirely
+with TDD operations: tracing qubit *q* sums the two diagonal slices
+``P[x_q = b, y_q = b]``.
+
+The reduced operator is Hermitian PSD but generally *not* a projector,
+so the subspace of interest is its support.  ``reduced_support`` uses
+the dense eigen-decomposition for that last step (exponential in the
+number of *kept* qubits only — the traced register can be wide).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SubspaceError
+from repro.sim.subspace_dense import DenseSubspace
+from repro.subspace.subspace import StateSpace, Subspace
+from repro.tdd.tdd import TDD
+
+
+def reduced_density(subspace: Subspace,
+                    keep_qubits: Sequence[int]) -> TDD:
+    """Trace the projector over all qubits not in ``keep_qubits``.
+
+    Returns the reduced (unnormalised) density tensor over the kept
+    kets/bras.
+    """
+    space = subspace.space
+    keep = sorted(set(keep_qubits))
+    for q in keep:
+        if not 0 <= q < space.num_qubits:
+            raise SubspaceError(f"qubit {q} out of range")
+    traced = [q for q in range(space.num_qubits) if q not in keep]
+    rho = subspace.projector
+    for q in traced:
+        ket, bra = space.kets[q], space.bras[q]
+        rho = (rho.slice({ket: 0, bra: 0})
+               + rho.slice({ket: 1, bra: 1}))
+    return rho
+
+
+def reduced_density_matrix(subspace: Subspace,
+                           keep_qubits: Sequence[int]) -> np.ndarray:
+    """The reduced density operator as a dense matrix (kept qubits)."""
+    space = subspace.space
+    keep = sorted(set(keep_qubits))
+    rho = reduced_density(subspace, keep)
+    k = len(keep)
+    tensor = rho.to_numpy()
+    order = list(rho.indices)
+    bra_axes = [order.index(space.bras[q]) for q in keep]
+    ket_axes = [order.index(space.kets[q]) for q in keep]
+    matrix = np.transpose(tensor, bra_axes + ket_axes)
+    return matrix.reshape(2 ** k, 2 ** k)
+
+
+def reduced_support(subspace: Subspace, keep_qubits: Sequence[int],
+                    tol: float = 1e-9) -> DenseSubspace:
+    """Support of the reduced density operator, as a dense subspace.
+
+    This is ``supp(tr_rest(P))`` — the smallest subspace of the kept
+    register certain to contain the restriction of every state in the
+    original subspace.
+    """
+    matrix = reduced_density_matrix(subspace, keep_qubits)
+    values, vectors = np.linalg.eigh(matrix)
+    keep_cols = values > tol * max(1.0, float(values.max(initial=0.0)))
+    return DenseSubspace(vectors[:, keep_cols], matrix.shape[0])

@@ -1,0 +1,7 @@
+"""Quantum transition systems (paper, Section III)."""
+
+from repro.systems.operations import QuantumOperation
+from repro.systems.qts import QuantumTransitionSystem
+from repro.systems import models
+
+__all__ = ["QuantumOperation", "QuantumTransitionSystem", "models"]

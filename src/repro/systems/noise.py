@@ -1,0 +1,128 @@
+"""Noise channel library.
+
+The paper's noisy-circuit modelling (Section III.A.3) uses a single
+bit-flip channel; this module provides the standard single-qubit
+channels as Kraus *matrix sets* plus a builder that inserts a channel
+at any position of a unitary circuit, producing the list of Kraus
+circuits a :class:`~repro.systems.operations.QuantumOperation` needs.
+Amplitude damping is non-unital, which exercises image computation
+beyond what the paper's experiments cover.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SystemError_
+from repro.gates import library as gl
+from repro.gates import matrices as gm
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise SystemError_(f"probability {p} outside [0, 1]")
+
+
+def bit_flip_kraus(probability: float) -> List[np.ndarray]:
+    """``{sqrt(1-p) I, sqrt(p) X}``."""
+    _check_probability(probability)
+    return [math.sqrt(1 - probability) * gm.I,
+            math.sqrt(probability) * gm.X]
+
+
+def phase_flip_kraus(probability: float) -> List[np.ndarray]:
+    """``{sqrt(1-p) I, sqrt(p) Z}``."""
+    _check_probability(probability)
+    return [math.sqrt(1 - probability) * gm.I,
+            math.sqrt(probability) * gm.Z]
+
+
+def bit_phase_flip_kraus(probability: float) -> List[np.ndarray]:
+    """``{sqrt(1-p) I, sqrt(p) Y}``."""
+    _check_probability(probability)
+    return [math.sqrt(1 - probability) * gm.I,
+            math.sqrt(probability) * gm.Y]
+
+
+def depolarizing_kraus(probability: float) -> List[np.ndarray]:
+    """``{sqrt(1-3p/4) I, sqrt(p)/2 X, sqrt(p)/2 Y, sqrt(p)/2 Z}``."""
+    _check_probability(probability)
+    return [math.sqrt(1 - 3 * probability / 4) * gm.I,
+            math.sqrt(probability) / 2 * gm.X,
+            math.sqrt(probability) / 2 * gm.Y,
+            math.sqrt(probability) / 2 * gm.Z]
+
+
+def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """``{ [[1,0],[0,sqrt(1-g)]], [[0,sqrt(g)],[0,0]] }`` (non-unital)."""
+    _check_probability(gamma)
+    e0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    e1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [e0, e1]
+
+
+def phase_damping_kraus(lam: float) -> List[np.ndarray]:
+    """``{ diag(1, sqrt(1-l)), diag(0, sqrt(l)) }``."""
+    _check_probability(lam)
+    return [np.diag([1, math.sqrt(1 - lam)]).astype(complex),
+            np.diag([0, math.sqrt(lam)]).astype(complex)]
+
+
+CHANNELS = {
+    "bit_flip": bit_flip_kraus,
+    "phase_flip": phase_flip_kraus,
+    "bit_phase_flip": bit_phase_flip_kraus,
+    "depolarizing": depolarizing_kraus,
+    "amplitude_damping": amplitude_damping_kraus,
+    "phase_damping": phase_damping_kraus,
+}
+
+
+def is_trace_preserving(kraus: Sequence[np.ndarray],
+                        tol: float = 1e-9) -> bool:
+    """``sum E^dagger E = I``."""
+    dim = kraus[0].shape[0]
+    total = sum(e.conj().T @ e for e in kraus)
+    return bool(np.allclose(total, np.eye(dim), atol=tol))
+
+
+def insert_channel(circuit: QuantumCircuit, position: int, qubit: int,
+                   kraus: Sequence[np.ndarray],
+                   name: str = "noise") -> List[QuantumCircuit]:
+    """One Kraus circuit per channel element, with the element inserted
+    after gate index ``position`` of ``circuit`` on ``qubit``.
+
+    This is exactly how Section III.A.3 builds
+    ``T2 = S o (E_b (x) I) o (E_c (x) I)``: the unitary prefix, one
+    Kraus element, the unitary suffix.
+    """
+    if not 0 <= position <= circuit.num_gates:
+        raise SystemError_(f"position {position} outside 0.."
+                           f"{circuit.num_gates}")
+    out: List[QuantumCircuit] = []
+    for j, element in enumerate(kraus):
+        branch = QuantumCircuit(circuit.num_qubits,
+                                f"{circuit.name}_{name}{j}")
+        branch.extend(circuit.gates[:position])
+        branch.append(gl.kraus(f"{name}{j}", qubit, element))
+        branch.extend(circuit.gates[position:])
+        out.append(branch)
+    return out
+
+
+def noisy_operation(symbol: str, circuit: QuantumCircuit, position: int,
+                    qubit: int, channel: str, parameter: float):
+    """A :class:`QuantumOperation` for ``circuit`` with a named channel
+    inserted at ``position`` on ``qubit``."""
+    from repro.systems.operations import QuantumOperation
+    factory = CHANNELS.get(channel)
+    if factory is None:
+        raise SystemError_(f"unknown channel {channel!r}; "
+                           f"choose from {sorted(CHANNELS)}")
+    circuits = insert_channel(circuit, position, qubit,
+                              factory(parameter), name=channel)
+    return QuantumOperation(symbol, circuits)

@@ -1,0 +1,97 @@
+"""Quantum operations as sets of Kraus circuits.
+
+A quantum operation ``T_sigma = { E_j }`` is stored as one
+:class:`~repro.circuits.circuit.QuantumCircuit` per Kraus operator
+(paper, Section III.A): unitary operations have a single unitary
+circuit, measurement branches of dynamic circuits carry projector
+gates, and noise channels carry scaled Kraus gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SystemError_
+
+
+class QuantumOperation:
+    """A named quantum operation given by Kraus circuits."""
+
+    def __init__(self, symbol: str,
+                 kraus_circuits: Sequence[QuantumCircuit]) -> None:
+        kraus_circuits = list(kraus_circuits)
+        if not kraus_circuits:
+            raise SystemError_(f"operation {symbol!r} needs at least one "
+                               f"Kraus circuit")
+        widths = {c.num_qubits for c in kraus_circuits}
+        if len(widths) != 1:
+            raise SystemError_(f"operation {symbol!r}: Kraus circuits act "
+                               f"on different qubit counts {widths}")
+        self.symbol = symbol
+        self.kraus_circuits = kraus_circuits
+
+    @property
+    def num_qubits(self) -> int:
+        return self.kraus_circuits[0].num_qubits
+
+    @property
+    def num_kraus(self) -> int:
+        return len(self.kraus_circuits)
+
+    # ------------------------------------------------------------------
+    def kraus_matrices(self) -> List[np.ndarray]:
+        """Dense Kraus matrices (reference backend, small systems)."""
+        from repro.sim.statevector import circuit_unitary
+        return [circuit_unitary(c) for c in self.kraus_circuits]
+
+    def is_trace_nonincreasing(self, tol: float = 1e-7) -> bool:
+        """Check ``sum_j E_j^dagger E_j <= I`` (valid quantum operation)."""
+        matrices = self.kraus_matrices()
+        dim = matrices[0].shape[0]
+        total = sum(e.conj().T @ e for e in matrices)
+        values = np.linalg.eigvalsh(total)
+        return bool(values.max() <= 1.0 + tol)
+
+    @staticmethod
+    def unitary(symbol: str, circuit: QuantumCircuit) -> "QuantumOperation":
+        """The closed-system case: one unitary Kraus circuit."""
+        return QuantumOperation(symbol, [circuit])
+
+    @staticmethod
+    def identity(symbol: str, num_qubits: int) -> "QuantumOperation":
+        """The identity operation (empty circuit)."""
+        return QuantumOperation(symbol, [QuantumCircuit(num_qubits,
+                                                        "identity")])
+
+    def then(self, other: "QuantumOperation",
+             symbol: str = "") -> "QuantumOperation":
+        """Sequential composition ``other ∘ self``.
+
+        The Kraus operators of a composition are all pairwise products,
+        realised as circuit concatenations: ``{F_j E_i}`` for Kraus
+        circuits ``E_i`` of this operation and ``F_j`` of ``other``.
+        """
+        if other.num_qubits != self.num_qubits:
+            raise SystemError_("qubit count mismatch in composition")
+        circuits = [mine.compose(theirs)
+                    for mine in self.kraus_circuits
+                    for theirs in other.kraus_circuits]
+        return QuantumOperation(symbol or f"{other.symbol}*{self.symbol}",
+                                circuits)
+
+    def power(self, exponent: int, symbol: str = "") -> "QuantumOperation":
+        """``self`` composed with itself ``exponent`` times."""
+        if exponent < 1:
+            raise SystemError_("exponent must be >= 1")
+        out = self
+        for _ in range(exponent - 1):
+            out = out.then(self)
+        out.symbol = symbol or f"{self.symbol}^{exponent}"
+        return out
+
+    def __repr__(self) -> str:
+        return (f"QuantumOperation({self.symbol!r}, "
+                f"kraus={self.num_kraus}, qubits={self.num_qubits})")

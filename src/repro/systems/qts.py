@@ -1,0 +1,104 @@
+"""The :class:`QuantumTransitionSystem` (paper, Definition 2).
+
+A QTS bundles the ambient state space, the initial subspace and a
+family of quantum operations.  Constructing one also fixes the global
+TDD index order: all ket/bra state indices and every wire index of
+every Kraus circuit are registered up front in the qubit-major order
+DESIGN.md describes, so that all diagrams of one system share a single
+canonical order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import SystemError_
+from repro.indices.index import Index
+from repro.indices.order import IndexOrder
+from repro.subspace.subspace import StateSpace, Subspace
+from repro.systems.operations import QuantumOperation
+from repro.tdd.manager import TDDManager
+from repro.tdd.tdd import TDD
+
+
+def _order_key(index: Index):
+    # qubit-major, time-minor; the name breaks the x-vs-y (ket-vs-bra)
+    # tie so that each bra y_q^0 sorts right after its ket x_q^0.
+    return (index.qubit, index.time, index.name)
+
+
+class QuantumTransitionSystem:
+    """``(H, S0, Sigma, T)`` with TDD-backed state space."""
+
+    def __init__(self, num_qubits: int,
+                 operations: Sequence[QuantumOperation],
+                 manager: Optional[TDDManager] = None,
+                 name: str = "qts") -> None:
+        operations = list(operations)
+        if not operations:
+            raise SystemError_("a QTS needs at least one operation")
+        for op in operations:
+            if op.num_qubits != num_qubits:
+                raise SystemError_(
+                    f"operation {op.symbol!r} acts on {op.num_qubits} "
+                    f"qubits, system has {num_qubits}")
+        symbols = [op.symbol for op in operations]
+        if len(set(symbols)) != len(symbols):
+            raise SystemError_(f"duplicate operation symbols {symbols}")
+        self.num_qubits = num_qubits
+        self.operations = operations
+        self.name = name
+        self.manager = manager if manager is not None else TDDManager()
+        self.space = StateSpace(self.manager, num_qubits)
+        self._register_indices()
+        #: The initial subspace S0; populate via set_initial_* helpers.
+        self.initial: Subspace = self.space.zero_subspace()
+
+    # ------------------------------------------------------------------
+    def _register_indices(self) -> None:
+        indices = {}
+        for ket, bra in zip(self.space.kets, self.space.bras):
+            indices[ket.name] = ket
+            indices[bra.name] = bra
+        for op in self.operations:
+            for circuit in op.kraus_circuits:
+                for idx in circuit.all_wire_indices():
+                    indices.setdefault(idx.name, idx)
+        ordered = sorted(indices.values(), key=_order_key)
+        self.manager.register_all(ordered)
+
+    # ------------------------------------------------------------------
+    # initial-space helpers
+    # ------------------------------------------------------------------
+    def set_initial_states(self, states: Iterable[TDD]) -> "QuantumTransitionSystem":
+        self.initial = self.space.span(states)
+        return self
+
+    def set_initial_basis_states(self, bit_strings: Iterable[Sequence[int]]
+                                 ) -> "QuantumTransitionSystem":
+        states = [self.space.basis_state(bits) for bits in bit_strings]
+        return self.set_initial_states(states)
+
+    # ------------------------------------------------------------------
+    @property
+    def symbols(self) -> List[str]:
+        return [op.symbol for op in self.operations]
+
+    def operation(self, symbol: str) -> QuantumOperation:
+        for op in self.operations:
+            if op.symbol == symbol:
+                return op
+        raise SystemError_(f"no operation named {symbol!r}")
+
+    def all_kraus_circuits(self) -> List:
+        """Every Kraus circuit of every operation — the set K of Alg. 1."""
+        out = []
+        for op in self.operations:
+            out.extend(op.kraus_circuits)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"QuantumTransitionSystem({self.name!r}, "
+                f"qubits={self.num_qubits}, "
+                f"operations={self.symbols}, "
+                f"initial_dim={self.initial.dimension})")

@@ -1,0 +1,21 @@
+"""Tensor decision diagrams (TDDs).
+
+A TDD represents a tensor over binary indices as a rooted, weighted,
+canonical DAG (Hong et al., TODAES 2022; paper Section II.B).  The
+package provides:
+
+* :class:`~repro.tdd.manager.TDDManager` — owns the index order, the
+  unique table and the operation caches; every TDD belongs to exactly
+  one manager.
+* :class:`~repro.tdd.tdd.TDD` — an immutable handle (root edge + free
+  index set) with ``to_numpy``, ``value``, ``size`` etc.
+* arithmetic (:mod:`repro.tdd.arithmetic`), contraction
+  (:mod:`repro.tdd.contraction`), slicing (:mod:`repro.tdd.slicing`) and
+  structured constructors (:mod:`repro.tdd.construction`).
+"""
+
+from repro.tdd.manager import TDDManager
+from repro.tdd.tdd import TDD
+from repro.tdd.node import Node, Edge
+
+__all__ = ["TDDManager", "TDD", "Node", "Edge"]

@@ -1,0 +1,121 @@
+"""Diagram analysis: size profiles and structural statistics.
+
+The paper's Table I reports one number per run (peak node count); this
+module provides the finer-grained views used by the ablation benches
+and by anyone debugging an index order: nodes per level, edge/weight
+statistics, sparsity, and a width profile (the BDD-style "how many
+nodes branch on each variable" histogram that reveals where an order
+is bad).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.tdd.node import Edge, Node
+from repro.tdd.tdd import TDD
+
+
+@dataclass
+class DiagramProfile:
+    """Structural statistics of one TDD."""
+
+    nodes: int
+    terminal_reached: bool
+    levels: Dict[str, int] = field(default_factory=dict)
+    max_width: int = 0
+    edges: int = 0
+    zero_edges: int = 0
+    distinct_weights: int = 0
+
+    @property
+    def width_profile(self) -> List[int]:
+        return list(self.levels.values())
+
+
+def profile(tdd: TDD) -> DiagramProfile:
+    """Walk the diagram once and collect a :class:`DiagramProfile`."""
+    manager = tdd.manager
+    seen: Set[int] = set()
+    level_counts: Counter = Counter()
+    weights: Set[complex] = set()
+    edges = 0
+    zero_edges = 0
+    terminal = False
+
+    stack = []
+    if not tdd.root.is_zero:
+        stack.append(tdd.root.node)
+        weights.add(tdd.root.weight)
+    else:
+        zero_edges += 1
+
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node.is_terminal:
+            terminal = True
+            continue
+        name = manager.order.index_at(node.level).name
+        level_counts[name] += 1
+        for edge in (node.low, node.high):
+            edges += 1
+            if edge.is_zero:
+                zero_edges += 1
+            else:
+                weights.add(edge.weight)
+                stack.append(edge.node)
+
+    return DiagramProfile(
+        nodes=len(seen),
+        terminal_reached=terminal,
+        levels=dict(level_counts),
+        max_width=max(level_counts.values(), default=0),
+        edges=edges,
+        zero_edges=zero_edges,
+        distinct_weights=len(weights),
+    )
+
+
+def density(tdd: TDD) -> float:
+    """Fraction of non-zero entries of the dense tensor.
+
+    Computed by path counting on the diagram (no dense expansion):
+    each edge with non-zero weight contributes its subtree's non-zero
+    path count, scaled for skipped levels.
+    """
+    manager = tdd.manager
+    if tdd.root.is_zero:
+        return 0.0
+    levels = sorted(manager.level(i) for i in tdd.indices)
+    position = {lv: p for p, lv in enumerate(levels)}
+    total_rank = len(levels)
+
+    cache: Dict[int, int] = {}
+
+    def count(node: Node, from_position: int) -> int:
+        """Non-zero entries of the subtensor rooted at ``node`` over
+        the free indices at positions >= from_position."""
+        if node.is_terminal:
+            return 2 ** (total_rank - from_position)
+        node_position = position[node.level]
+        skip = 2 ** (node_position - from_position)
+        if id(node) not in cache:
+            subtotal = 0
+            for edge in (node.low, node.high):
+                if not edge.is_zero:
+                    subtotal += count(edge.node, node_position + 1)
+            cache[id(node)] = subtotal
+        return skip * cache[id(node)]
+
+    nonzero = count(tdd.root.node, 0)
+    return nonzero / 2 ** total_rank
+
+
+def compare_sizes(tdds: Dict[str, TDD]) -> Dict[str, int]:
+    """Size per labelled diagram (convenience for bench reporting)."""
+    return {label: tdd.size() for label, tdd in tdds.items()}

@@ -1,0 +1,156 @@
+"""TDD serialisation and visualisation helpers.
+
+``to_dot`` renders diagrams in the style of the paper's Fig. 1: one
+oval per node labelled with its index, solid (blue, value 0) and dashed
+(red, value 1) edges annotated with non-unit weights, and edges with
+weight 0 omitted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tdd.node import Edge, Node
+from repro.tdd.tdd import TDD
+
+
+def _format_weight(value: complex) -> str:
+    if value.imag == 0:
+        real = value.real
+        if real == int(real):
+            return str(int(real))
+        return f"{real:.4g}"
+    if value.real == 0:
+        return f"{value.imag:.4g}j"
+    return f"{value.real:.4g}{value.imag:+.4g}j"
+
+
+def to_dot(tdd: TDD, name: str = "tdd") -> str:
+    """Graphviz DOT source for a TDD."""
+    manager = tdd.manager
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=TB;"]
+    ids: Dict[int, str] = {}
+    counter = [0]
+
+    def node_id(node: Node) -> str:
+        key = id(node)
+        if key not in ids:
+            ids[key] = f"n{counter[0]}"
+            counter[0] += 1
+        return ids[key]
+
+    emitted = set()
+
+    def emit(node: Node) -> None:
+        key = id(node)
+        if key in emitted:
+            return
+        emitted.add(key)
+        nid = node_id(node)
+        if node.is_terminal:
+            lines.append(f'  {nid} [shape=box, label="1"];')
+            return
+        label = manager.order.index_at(node.level).name
+        lines.append(f'  {nid} [shape=oval, label="{label}"];')
+        for bit, edge, style, colour in ((0, node.low, "solid", "blue"),
+                                         (1, node.high, "dashed", "red")):
+            if edge.is_zero:
+                continue
+            emit(edge.node)
+            attrs = [f"style={style}", f"color={colour}"]
+            if edge.weight != 1:
+                attrs.append(f'label="{_format_weight(edge.weight)}"')
+            lines.append(f"  {nid} -> {node_id(edge.node)} "
+                         f"[{', '.join(attrs)}];")
+        return
+
+    root = tdd.root
+    lines.append('  root [shape=none, label=""];')
+    if not root.is_zero:
+        emit(root.node)
+        attrs = []
+        if root.weight != 1:
+            attrs.append(f'label="{_format_weight(root.weight)}"')
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  root -> {node_id(root.node)}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_dict(tdd: TDD) -> dict:
+    """A JSON-serialisable description of the diagram (for debugging)."""
+    manager = tdd.manager
+    nodes: List[dict] = []
+    ids: Dict[int, int] = {}
+
+    def visit(node: Node) -> int:
+        key = id(node)
+        if key in ids:
+            return ids[key]
+        my_id = len(nodes)
+        ids[key] = my_id
+        if node.is_terminal:
+            nodes.append({"id": my_id, "terminal": True})
+            return my_id
+        entry: dict = {"id": my_id,
+                       "index": manager.order.index_at(node.level).name}
+        nodes.append(entry)
+        for tag, edge in (("low", node.low), ("high", node.high)):
+            if edge.is_zero:
+                entry[tag] = None
+            else:
+                entry[tag] = {"weight": [edge.weight.real, edge.weight.imag],
+                              "node": visit(edge.node)}
+        return my_id
+
+    root: Edge = tdd.root
+    out = {"indices": list(tdd.index_names),
+           "root_weight": [root.weight.real, root.weight.imag]}
+    out["root_node"] = None if root.is_zero else visit(root.node)
+    out["nodes"] = nodes
+    return out
+
+
+def from_dict(manager, data: dict) -> TDD:
+    """Rebuild a TDD from :func:`to_dict` output.
+
+    Indices must already be registered in ``manager`` (or registrable
+    by name); the reconstruction re-interns every node, so the result
+    is canonical in the target manager even across processes.
+    """
+    from repro.indices.index import Index
+
+    indices = [Index(name) for name in data["indices"]]
+    for idx in indices:
+        manager.register(idx)
+    by_id = {entry["id"]: entry for entry in data["nodes"]}
+    cache: Dict[int, "Edge"] = {}
+
+    def build(node_id: int) -> Edge:
+        if node_id in cache:
+            return cache[node_id]
+        entry = by_id[node_id]
+        if entry.get("terminal"):
+            edge = Edge(1 + 0j, manager.terminal)
+        else:
+            level = manager.level(Index(entry["index"]))
+
+            def child(tag: str) -> Edge:
+                sub = entry.get(tag)
+                if sub is None:
+                    return manager.zero_edge()
+                inner = build(sub["node"])
+                weight = complex(sub["weight"][0], sub["weight"][1])
+                return manager.make_edge(weight * inner.weight, inner.node)
+
+            edge = manager.make_node(level, child("low"), child("high"))
+        cache[node_id] = edge
+        return edge
+
+    weight = complex(data["root_weight"][0], data["root_weight"][1])
+    if data["root_node"] is None or weight == 0:
+        root = manager.zero_edge()
+    else:
+        inner = build(data["root_node"])
+        root = manager.make_edge(weight * inner.weight, inner.node)
+    return TDD(manager, root, indices)

@@ -1,0 +1,154 @@
+"""The TDD manager: unique table, normalisation and operation caches.
+
+Every TDD computation happens inside one :class:`TDDManager`.  The
+manager owns
+
+* the global :class:`~repro.indices.order.IndexOrder` the diagrams are
+  canonical against,
+* the *unique table* interning nodes (structural equality becomes
+  object identity),
+* memoisation caches for addition and contraction, and
+* counters used by the benchmark harness (peak live nodes, total nodes
+  made).
+
+Normalisation rule (DESIGN.md Section 3): when a node is created, its two
+outgoing edge weights are divided by the weight of largest magnitude
+(ties resolved toward the low edge), which becomes the weight of the
+incoming edge.  Together with interning this makes the representation
+canonical for a fixed index order.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.indices.index import Index
+from repro.indices.order import IndexOrder
+from repro.tdd import weights as wt
+from repro.tdd.node import Edge, Node, TERMINAL_LEVEL
+
+#: TDD recursion is level-deep; benchmark circuits easily exceed the
+#: default interpreter limit, so managers raise it on construction.
+_MIN_RECURSION_LIMIT = 100_000
+
+
+class TDDManager:
+    """Owner of all nodes, caches and the index order for a family of TDDs."""
+
+    def __init__(self, order: Optional[IndexOrder] = None) -> None:
+        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        self.order = order if order is not None else IndexOrder()
+        self.terminal = Node(TERMINAL_LEVEL, None, None)
+        self._unique: Dict[tuple, Node] = {}
+        self._add_cache: Dict[tuple, Edge] = {}
+        self._cont_cache: Dict[tuple, Edge] = {}
+        #: total number of distinct non-terminal nodes ever interned
+        self.nodes_made: int = 0
+
+    # ------------------------------------------------------------------
+    # index registration
+    # ------------------------------------------------------------------
+    def register(self, index: Index) -> int:
+        """Register ``index`` in the manager's order; return its level."""
+        return self.order.register(index)
+
+    def register_all(self, indices: Iterable[Index]) -> None:
+        self.order.register_all(indices)
+
+    def level(self, index: Index) -> int:
+        return self.order.level(index)
+
+    # ------------------------------------------------------------------
+    # edges and nodes
+    # ------------------------------------------------------------------
+    def zero_edge(self) -> Edge:
+        return Edge(0j, self.terminal)
+
+    def scalar_edge(self, value: complex) -> Edge:
+        value = complex(value)
+        if value == 0:
+            return self.zero_edge()
+        return Edge(value, self.terminal)
+
+    def make_edge(self, weight: complex, node: Node) -> Edge:
+        """Build an edge (exact-zero weight ⇒ the zero edge).
+
+        Outer weights are kept at full precision: clamping or rounding
+        here would be scale-dependent and destroy small amplitudes
+        (e.g. 2^-n/2 root weights of wide superpositions).  Rounding
+        happens only on the normalised child weights in
+        :meth:`make_node`.
+        """
+        if weight == 0:
+            return self.zero_edge()
+        return Edge(complex(weight), node)
+
+    def make_node(self, level: int, low: Edge, high: Edge) -> Edge:
+        """Intern a node branching on ``level``; returns a normalised edge.
+
+        Applies the two TDD reduction rules: a node whose outgoing edges
+        are identical is redundant (return the common edge), and edge
+        weights are normalised by the largest-magnitude weight.  The
+        normalised (relative) child weights are rounded to the canonical
+        grid; children negligible *relative to their sibling* are
+        clamped to zero, which is what keeps float cancellation noise
+        out of the diagrams.
+        """
+        w0 = complex(low.weight)
+        w1 = complex(high.weight)
+        if w0 == 0 and w1 == 0:
+            return self.zero_edge()
+        if w0 == w1 and low.node is high.node:
+            return Edge(w0, low.node)
+        # normalisation: divide by the larger-magnitude weight (tie: low)
+        if abs(w0) >= abs(w1):
+            norm = w0
+        else:
+            norm = w1
+        nw0 = wt.canonical(w0 / norm)
+        nw1 = wt.canonical(w1 / norm)
+        n0 = low.node if not wt.is_zero(nw0) else self.terminal
+        n1 = high.node if not wt.is_zero(nw1) else self.terminal
+        key = (level, wt.key(nw0), id(n0), wt.key(nw1), id(n1))
+        node = self._unique.get(key)
+        if node is None:
+            node = Node(level, Edge(nw0, n0), Edge(nw1, n1))
+            self._unique[key] = node
+            self.nodes_made += 1
+        return Edge(norm, node)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def live_nodes(self) -> int:
+        """Number of distinct non-terminal nodes currently interned."""
+        return len(self._unique)
+
+    def clear_caches(self) -> None:
+        """Drop the operation memo tables (keeps interned nodes)."""
+        self._add_cache.clear()
+        self._cont_cache.clear()
+
+    def reset(self) -> None:
+        """Drop all nodes and caches.  Outstanding TDDs become invalid."""
+        self._unique.clear()
+        self.clear_caches()
+        self.nodes_made = 0
+
+    # ------------------------------------------------------------------
+    # operations (thin wrappers; implementations live in sibling modules)
+    # ------------------------------------------------------------------
+    def add(self, a: Edge, b: Edge) -> Edge:
+        from repro.tdd.arithmetic import add_edges
+        return add_edges(self, a, b)
+
+    def contract(self, a: Edge, b: Edge, sum_levels: Tuple[int, ...]) -> Edge:
+        from repro.tdd.contraction import contract_edges
+        return contract_edges(self, a, b, sum_levels)
+
+    def __repr__(self) -> str:
+        return (f"TDDManager(indices={len(self.order)}, "
+                f"live_nodes={self.live_nodes})")

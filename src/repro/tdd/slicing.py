@@ -1,0 +1,100 @@
+"""TDD slicing and non-zero path search.
+
+Slicing fixes one index to a constant (paper, Section II.B); it is the
+workhorse of the addition-partition scheme and of the basis
+decomposition of projectors (Section IV.A), which locates the *leftmost
+non-zero path* of a projector TDD to extract its first non-zero column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.tdd.manager import TDDManager
+from repro.tdd.node import Edge, Node
+
+
+def slice_edge(manager: TDDManager, edge: Edge, level: int, value: int) -> Edge:
+    """The tensor of ``edge`` with the index at ``level`` fixed to ``value``.
+
+    The resulting edge no longer depends on that index.
+    """
+    if value not in (0, 1):
+        raise ValueError(f"slice value must be 0 or 1, got {value!r}")
+    memo: Dict[int, Edge] = {}
+
+    def rec_node(node: Node) -> Edge:
+        if node.is_terminal or node.level > level:
+            return Edge(1 + 0j, node)
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if node.level == level:
+            chosen = node.high if value else node.low
+            result = manager.make_edge(chosen.weight, chosen.node)
+        else:
+            result = manager.make_node(node.level,
+                                       rec_edge(node.low),
+                                       rec_edge(node.high))
+        memo[id(node)] = result
+        return result
+
+    def rec_edge(e: Edge) -> Edge:
+        if e.is_zero:
+            return manager.zero_edge()
+        inner = rec_node(e.node)
+        return manager.make_edge(e.weight * inner.weight, inner.node)
+
+    return rec_edge(edge)
+
+
+def slice_many(manager: TDDManager, edge: Edge,
+               assignment: Dict[int, int]) -> Edge:
+    """Slice several levels at once (applied top-down)."""
+    result = edge
+    for level in sorted(assignment):
+        result = slice_edge(manager, result, level, assignment[level])
+    return result
+
+
+def first_nonzero_assignment(edge: Edge,
+                             target_levels: FrozenSet[int]
+                             ) -> Optional[Dict[int, int]]:
+    """Leftmost assignment of ``target_levels`` with a non-zero slice.
+
+    Returns a partial assignment ``{level: bit}`` such that slicing
+    ``edge`` on it yields a non-zero tensor, preferring 0 before 1 at
+    every target index (the paper's "leftmost non-zero path").  Levels
+    in ``target_levels`` that the diagram does not branch on are
+    unconstrained and omitted (callers treat them as 0).  Returns
+    ``None`` iff the edge denotes the zero tensor.
+    """
+    if edge.is_zero:
+        return None
+
+    def rec(node: Node) -> Optional[Dict[int, int]]:
+        if node.is_terminal:
+            return {}
+        if node.level in target_levels:
+            if not node.low.is_zero:
+                sub = rec(node.low.node)
+                if sub is not None:
+                    sub[node.level] = 0
+                    return sub
+            if not node.high.is_zero:
+                sub = rec(node.high.node)
+                if sub is not None:
+                    sub[node.level] = 1
+                    return sub
+            return None
+        # A non-target (e.g. row) index: any branch that survives the
+        # slice keeps the whole tensor non-zero.
+        if not node.low.is_zero:
+            sub = rec(node.low.node)
+            if sub is not None:
+                return sub
+        if not node.high.is_zero:
+            return rec(node.high.node)
+        return None
+
+    return rec(edge.node)

@@ -1,0 +1,16 @@
+"""Dense tensors and tensor networks.
+
+The dense backend (:class:`DenseTensor`) is the *reference oracle* for
+the TDD path: every TDD computation on a small system can be replayed
+densely and compared entry-by-entry.  :class:`TensorNetwork` is generic
+over any tensor implementation exposing ``indices`` /
+``contract(other, sum_over)`` / ``slice(assignment)`` — i.e. it drives
+both :class:`DenseTensor` and :class:`~repro.tdd.tdd.TDD` values — and
+is the engine underneath all three image computation algorithms.
+"""
+
+from repro.tensor.dense import DenseTensor
+from repro.tensor.network import TensorNetwork
+from repro.tensor.graph import IndexGraph
+
+__all__ = ["DenseTensor", "TensorNetwork", "IndexGraph"]

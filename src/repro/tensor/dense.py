@@ -1,0 +1,150 @@
+"""Dense tensors with named binary indices.
+
+:class:`DenseTensor` mirrors the :class:`~repro.tdd.tdd.TDD` interface
+(``indices``, ``contract``, ``slice``, ``product``, ``to_numpy``) on a
+plain ndarray, so any algorithm written against that protocol can be
+executed densely for validation.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import TDDError
+from repro.indices.index import Index
+
+IndexLike = Union[Index, str]
+
+_LETTERS = string.ascii_letters
+
+
+def _as_index(value: IndexLike) -> Index:
+    return value if isinstance(value, Index) else Index(value)
+
+
+class DenseTensor:
+    """An ndarray over named binary indices (axis *i* = ``indices[i]``)."""
+
+    __slots__ = ("array", "_indices")
+
+    def __init__(self, array: np.ndarray, indices: Sequence[Index]) -> None:
+        array = np.asarray(array, dtype=complex)
+        indices = tuple(indices)
+        if array.shape != (2,) * len(indices):
+            raise TDDError(f"array shape {array.shape} does not match "
+                           f"{len(indices)} binary indices")
+        if len({i.name for i in indices}) != len(indices):
+            raise TDDError("duplicate index labels")
+        self.array = array
+        self._indices = indices
+
+    # ------------------------------------------------------------------
+    @property
+    def indices(self) -> Tuple[Index, ...]:
+        return self._indices
+
+    @property
+    def index_names(self) -> Tuple[str, ...]:
+        return tuple(i.name for i in self._indices)
+
+    @property
+    def rank(self) -> int:
+        return len(self._indices)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.array
+
+    # ------------------------------------------------------------------
+    def contract(self, other: "DenseTensor",
+                 sum_over: Iterable[IndexLike]) -> "DenseTensor":
+        """einsum-based contraction over ``sum_over``.
+
+        Shared indices not in ``sum_over`` stay free (aligned
+        elementwise), matching TDD contraction semantics.  A summed
+        index absent from both operands contributes a factor 2.
+        """
+        sum_names = {_as_index(i).name for i in sum_over}
+        present = set(self.index_names) | set(other.index_names)
+        phantom = sum_names - present
+        letters: Dict[str, str] = {}
+
+        def letter(name: str) -> str:
+            if name not in letters:
+                if len(letters) >= len(_LETTERS):
+                    raise TDDError("dense contraction supports at most "
+                                   f"{len(_LETTERS)} distinct indices")
+                letters[name] = _LETTERS[len(letters)]
+            return letters[name]
+
+        spec_a = "".join(letter(n) for n in self.index_names)
+        spec_b = "".join(letter(n) for n in other.index_names)
+        out_indices: List[Index] = []
+        seen = set()
+        for idx in self._indices + other._indices:
+            if idx.name not in sum_names and idx.name not in seen:
+                seen.add(idx.name)
+                out_indices.append(idx)
+        spec_out = "".join(letter(i.name) for i in out_indices)
+        result = np.einsum(f"{spec_a},{spec_b}->{spec_out}",
+                           self.array, other.array)
+        result = result * (2 ** len(phantom))
+        return DenseTensor(result, out_indices)
+
+    def product(self, other: "DenseTensor") -> "DenseTensor":
+        return self.contract(other, ())
+
+    def slice(self, assignment: Mapping[IndexLike, int]) -> "DenseTensor":
+        """Fix some indices to constants."""
+        fixed = {_as_index(k).name: v for k, v in assignment.items()}
+        unknown = set(fixed) - set(self.index_names)
+        if unknown:
+            raise TDDError(f"cannot slice on non-free indices {unknown}")
+        selector: List[object] = []
+        remaining: List[Index] = []
+        for idx in self._indices:
+            if idx.name in fixed:
+                bit = fixed[idx.name]
+                if bit not in (0, 1):
+                    raise ValueError("slice value must be 0 or 1")
+                selector.append(bit)
+            else:
+                selector.append(slice(None))
+                remaining.append(idx)
+        return DenseTensor(self.array[tuple(selector)], remaining)
+
+    # ------------------------------------------------------------------
+    def scaled(self, factor: complex) -> "DenseTensor":
+        return DenseTensor(self.array * factor, self._indices)
+
+    def conj(self) -> "DenseTensor":
+        return DenseTensor(self.array.conj(), self._indices)
+
+    def rename(self, mapping: Mapping[IndexLike, IndexLike]) -> "DenseTensor":
+        full = {_as_index(k).name: _as_index(v) for k, v in mapping.items()}
+        new = [full.get(i.name, i) for i in self._indices]
+        return DenseTensor(self.array, new)
+
+    def __add__(self, other: "DenseTensor") -> "DenseTensor":
+        if set(self.index_names) != set(other.index_names):
+            raise TDDError("dense addition requires identical index sets")
+        aligned = other.transpose_like(self._indices)
+        return DenseTensor(self.array + aligned.array, self._indices)
+
+    def transpose_like(self, indices: Sequence[Index]) -> "DenseTensor":
+        """Reorder axes to match ``indices`` (same set required)."""
+        order = {i.name: pos for pos, i in enumerate(self._indices)}
+        perm = [order[i.name] for i in indices]
+        return DenseTensor(np.transpose(self.array, perm), tuple(indices))
+
+    def allclose(self, other: "DenseTensor", tol: float = 1e-8) -> bool:
+        if set(self.index_names) != set(other.index_names):
+            return False
+        return np.allclose(self.array,
+                           other.transpose_like(self._indices).array,
+                           atol=tol)
+
+    def __repr__(self) -> str:
+        return f"DenseTensor(rank={self.rank}, indices={self.index_names})"

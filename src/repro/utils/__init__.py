@@ -1,0 +1,14 @@
+"""Small shared utilities: timing, statistics, bit helpers, tables."""
+
+from repro.utils.timing import Stopwatch
+from repro.utils.stats import StatsRecorder
+from repro.utils.bitops import int_to_bits, bits_to_int
+from repro.utils.tables import format_table
+
+__all__ = [
+    "Stopwatch",
+    "StatsRecorder",
+    "int_to_bits",
+    "bits_to_int",
+    "format_table",
+]

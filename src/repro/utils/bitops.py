@@ -1,0 +1,41 @@
+"""Bit-string helpers shared by gates, circuits and subspace code."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Big-endian bit decomposition of ``value`` into ``width`` bits.
+
+    >>> int_to_bits(6, 4)
+    [0, 1, 1, 0]
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits`.
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    out = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {b!r}")
+        out = (out << 1) | b
+    return out
+
+
+def gray_code(width: int) -> List[int]:
+    """The standard reflected Gray code sequence on ``width`` bits.
+
+    >>> gray_code(2)
+    [0, 1, 3, 2]
+    """
+    return [i ^ (i >> 1) for i in range(1 << width)]

@@ -1,0 +1,54 @@
+"""Statistics recording for image computation runs.
+
+The paper's Table I reports, per benchmark and method, the wall-clock
+time and the *maximum node count over all TDDs generated* during the
+image computation.  :class:`StatsRecorder` collects exactly those two
+quantities plus a few extra counters that the ablation benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatsRecorder:
+    """Mutable record of the cost of one image computation run."""
+
+    #: Maximum size (number of nodes, including the terminal) over all
+    #: TDDs produced during the run.
+    max_nodes: int = 0
+    #: Number of top-level TDD contractions performed.
+    contractions: int = 0
+    #: Number of top-level TDD additions performed.
+    additions: int = 0
+    #: Wall-clock seconds (filled in by the caller).
+    seconds: float = 0.0
+    #: Free-form counters (e.g. number of partition blocks).
+    extra: dict = field(default_factory=dict)
+
+    def observe_tdd(self, tdd) -> None:
+        """Record the size of a freshly produced TDD."""
+        size = tdd.size()
+        if size > self.max_nodes:
+            self.max_nodes = size
+
+    def observe_nodes(self, count: int) -> None:
+        if count > self.max_nodes:
+            self.max_nodes = count
+
+    def merge(self, other: "StatsRecorder") -> None:
+        """Fold another recorder (e.g. from a sub-computation) into this one."""
+        self.max_nodes = max(self.max_nodes, other.max_nodes)
+        self.contractions += other.contractions
+        self.additions += other.additions
+
+    def as_dict(self) -> dict:
+        out = {
+            "max_nodes": self.max_nodes,
+            "contractions": self.contractions,
+            "additions": self.additions,
+            "seconds": self.seconds,
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,182 @@
+"""Semantics of the benchmark circuit generators (dense oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import library as lib
+from repro.errors import CircuitError
+from repro.sim.statevector import (basis_state_from_int, basis_state_vector,
+                                   circuit_unitary)
+from repro.utils.bitops import int_to_bits
+
+PLUS = np.array([1, 1]) / np.sqrt(2)
+MINUS = np.array([1, -1]) / np.sqrt(2)
+
+
+def kron_all(vectors):
+    out = np.array([1.0 + 0j])
+    for v in vectors:
+        out = np.kron(out, v)
+    return out
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_prepares_ghz(self, n):
+        u = circuit_unitary(lib.ghz_circuit(n))
+        out = u @ basis_state_from_int(n, 0).reshape(-1)
+        expect = np.zeros(2 ** n, dtype=complex)
+        expect[0] = expect[-1] = 2 ** -0.5
+        assert np.allclose(out, expect)
+
+    def test_gate_count(self):
+        circuit = lib.ghz_circuit(10)
+        assert circuit.count_ops() == {"h": 1, "cx": 9}
+
+
+class TestGrover:
+    def test_needs_three_qubits(self):
+        with pytest.raises(CircuitError):
+            lib.grover_iteration(2)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_invariant_subspace(self, n):
+        """span{|+..+->, |1..1->} is invariant (Section III.A.1)."""
+        u = circuit_unitary(lib.grover_iteration(n))
+        m = n - 1
+        psi = kron_all([PLUS] * m + [MINUS])
+        target = kron_all([np.array([0, 1])] * m + [MINUS])
+        basis = np.stack([psi, target], axis=1)
+        proj = basis @ np.linalg.pinv(basis)
+        for vec in (psi, target):
+            out = u @ vec
+            assert np.allclose(proj @ out, out, atol=1e-9)
+
+    def test_plus_minus_maps_to_marked(self):
+        """For 2 search qubits one iteration lands on |11>|-> exactly."""
+        u = circuit_unitary(lib.grover_iteration(3))
+        psi = kron_all([PLUS, PLUS, MINUS])
+        target = kron_all([np.array([0, 1]), np.array([0, 1]), MINUS])
+        out = u @ psi
+        assert np.isclose(abs(np.vdot(out, target)), 1.0, atol=1e-9)
+
+    def test_oracle_is_multi_controlled_x(self):
+        circuit = lib.grover_iteration(5)
+        oracle = circuit.gates[0]
+        assert oracle.name == "cnx"
+        assert oracle.controls == (0, 1, 2, 3)
+        assert oracle.targets == (4,)
+
+
+class TestBV:
+    @pytest.mark.parametrize("secret", [[1, 0, 1], [0, 0, 0], [1, 1, 1]])
+    def test_recovers_secret(self, secret):
+        n = len(secret) + 1
+        u = circuit_unitary(lib.bernstein_vazirani(n, secret))
+        start = basis_state_vector(n, [0] * (n - 1) + [1]).reshape(-1)
+        expect = basis_state_vector(n, list(secret) + [1]).reshape(-1)
+        assert np.allclose(u @ start, expect, atol=1e-9)
+
+    def test_default_secret_all_ones(self):
+        circuit = lib.bernstein_vazirani(4)
+        assert circuit.count_ops()["cx"] == 3
+
+    def test_secret_length_mismatch(self):
+        with pytest.raises(CircuitError):
+            lib.bernstein_vazirani(3, [1, 0, 1])
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix_bit_reversed(self, n):
+        u = circuit_unitary(lib.qft_circuit(n))
+        dim = 2 ** n
+        dft = np.array([[np.exp(2j * np.pi * j * k / dim) / np.sqrt(dim)
+                         for k in range(dim)] for j in range(dim)])
+        # without terminal swaps the output is bit-reversed
+        perm = [int(format(i, f"0{n}b")[::-1], 2) for i in range(dim)]
+        assert np.allclose(u[perm, :], dft, atol=1e-9)
+
+    def test_gate_count(self):
+        circuit = lib.qft_circuit(5)
+        ops = circuit.count_ops()
+        assert ops["h"] == 5
+        assert ops["cp"] == 10
+
+    def test_approximate_qft_truncates(self):
+        full = lib.qft_circuit(6)
+        approx = lib.qft_circuit(6, max_distance=2)
+        assert approx.count_ops()["cp"] < full.count_ops()["cp"]
+
+
+class TestQRW:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_shift_increments_and_decrements(self, n):
+        u = circuit_unitary(lib.qrw_shift(n))
+        size = 2 ** (n - 1)
+        for pos in range(size):
+            bits = int_to_bits(pos, n - 1)
+            for coin, step in ((1, 1), (0, -1)):
+                vec = basis_state_vector(n, [coin] + bits).reshape(-1)
+                expect_bits = int_to_bits((pos + step) % size, n - 1)
+                expect = basis_state_vector(
+                    n, [coin] + expect_bits).reshape(-1)
+                assert np.allclose(u @ vec, expect, atol=1e-9)
+
+    def test_step_is_unitary(self):
+        u = circuit_unitary(lib.qrw_step(4))
+        assert np.allclose(u @ u.conj().T, np.eye(16), atol=1e-9)
+
+    def test_noisy_kraus_completeness(self):
+        k1, k2 = lib.qrw_noisy_kraus_circuits(4, 0.3)
+        e1, e2 = circuit_unitary(k1), circuit_unitary(k2)
+        total = e1.conj().T @ e1 + e2.conj().T @ e2
+        assert np.allclose(total, np.eye(16), atol=1e-9)
+
+    def test_probability_bounds(self):
+        with pytest.raises(CircuitError):
+            lib.qrw_noisy_kraus_circuits(4, 1.5)
+
+
+class TestBitflip:
+    def test_six_cx_syndrome(self):
+        circuit = lib.bitflip_syndrome_circuit()
+        assert circuit.count_ops() == {"cx": 6}
+
+    def test_four_outcomes(self):
+        assert len(lib.bitflip_kraus_circuits()) == 4
+        assert set(lib.BITFLIP_OUTCOMES) == {
+            (0, 0, 0), (1, 0, 1), (1, 1, 0), (0, 1, 1)}
+
+    @pytest.mark.parametrize("error_qubit", [None, 0, 1, 2])
+    def test_corrects_single_flips(self, error_qubit):
+        from repro.sim.density import (apply_kraus, channel_matrices,
+                                       density_from_states, support_basis)
+        kraus = channel_matrices(lib.bitflip_kraus_circuits())
+        a, b = 0.6, 0.8
+        code = (a * basis_state_vector(6, [0] * 6).reshape(-1)
+                + b * basis_state_vector(6, [1, 1, 1, 0, 0, 0]).reshape(-1))
+        state = code.copy()
+        if error_qubit is not None:
+            x = np.array([[0, 1], [1, 0]], dtype=complex)
+            op = np.eye(1, dtype=complex)
+            for q in range(6):
+                op = np.kron(op, x if q == error_qubit else np.eye(2))
+            state = op @ state
+        rho = np.outer(state, state.conj())
+        sup = support_basis(apply_kraus(rho, kraus))
+        assert sup.shape[1] == 1
+        assert np.isclose(abs(np.vdot(sup[:, 0], code)), 1.0, atol=1e-9)
+
+
+class TestRandomCircuit:
+    def test_deterministic_for_seed(self):
+        a = lib.random_circuit(4, 20, seed=7)
+        b = lib.random_circuit(4, 20, seed=7)
+        assert a.to_text() == b.to_text()
+
+    def test_gate_count(self):
+        assert lib.random_circuit(3, 15, seed=0).num_gates == 15
+
+    def test_is_unitary(self):
+        assert lib.random_circuit(4, 30, seed=1).is_unitary()

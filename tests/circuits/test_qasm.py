@@ -1,0 +1,102 @@
+"""OpenQASM 2.0 subset import/export."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import parse_qasm, to_qasm
+from repro.errors import CircuitError
+from repro.sim.statevector import circuit_unitary
+
+BELL = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+"""
+
+
+class TestParse:
+    def test_bell(self):
+        circuit = parse_qasm(BELL)
+        assert circuit.num_qubits == 2
+        assert [g.name for g in circuit.gates] == ["h", "cx"]
+
+    def test_angles_with_pi(self):
+        text = ('OPENQASM 2.0;\nqreg q[1];\n'
+                'rz(pi/4) q[0];\nu1(2*pi/8) q[0];\n')
+        circuit = parse_qasm(text)
+        assert circuit.num_gates == 2
+        u = circuit_unitary(circuit)
+        # rz(pi/4) * p(pi/4) up to global phase
+        expect = np.diag([np.exp(-1j * math.pi / 8),
+                          np.exp(1j * math.pi / 8)]) @ \
+            np.diag([1, np.exp(1j * math.pi / 4)])
+        ratio = u @ np.linalg.inv(expect)
+        assert np.allclose(ratio, ratio[0, 0] * np.eye(2), atol=1e-9)
+
+    def test_comments_and_barrier_ignored(self):
+        text = ('OPENQASM 2.0;\n// a comment\nqreg q[2];\n'
+                'barrier q[0], q[1];\nx q[1]; // trailing\n')
+        circuit = parse_qasm(text)
+        assert [g.name for g in circuit.gates] == ["x"]
+
+    def test_ccx_and_swap(self):
+        text = ('OPENQASM 2.0;\nqreg q[3];\n'
+                'ccx q[0], q[1], q[2];\nswap q[0], q[2];\n')
+        circuit = parse_qasm(text)
+        assert [g.name for g in circuit.gates] == ["ccx", "swap"]
+
+    def test_missing_header(self):
+        with pytest.raises(CircuitError):
+            parse_qasm("qreg q[2];\nh q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            parse_qasm('OPENQASM 2.0;\nqreg q[1];\nfoo q[0];')
+
+    def test_measure_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_qasm('OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n'
+                       'measure q[0] -> c[0];')
+
+    def test_bad_angle_expression(self):
+        with pytest.raises(CircuitError):
+            parse_qasm('OPENQASM 2.0;\nqreg q[1];\n'
+                       'rz(__import__("os")) q[0];')
+
+
+class TestEmit:
+    def test_round_trip_semantics(self):
+        circuit = (QuantumCircuit(3).h(0).cx(0, 1)
+                   .cp(math.pi / 4, 1, 2).ccx(0, 1, 2)
+                   .rz(0.7, 1).rx(1.1, 2).ry(-0.4, 0)
+                   .s(0).t(1).z(2).swap(0, 2))
+        text = to_qasm(circuit)
+        parsed = parse_qasm(text)
+        u1 = circuit_unitary(circuit)
+        u2 = circuit_unitary(parsed)
+        ratio = u1 @ u2.conj().T
+        assert np.allclose(ratio, ratio[0, 0] * np.eye(8), atol=1e-8)
+
+    def test_emit_library_circuits(self):
+        from repro.circuits.library import ghz_circuit, qft_circuit
+        for circuit in (ghz_circuit(4), qft_circuit(4)):
+            text = to_qasm(circuit)
+            parsed = parse_qasm(text)
+            u1 = circuit_unitary(circuit)
+            u2 = circuit_unitary(parsed)
+            assert np.allclose(u1, u2, atol=1e-8)
+
+    def test_projector_gate_rejected(self):
+        circuit = QuantumCircuit(1).proj(0, 0)
+        with pytest.raises(CircuitError):
+            to_qasm(circuit)
+
+    def test_wide_cnx_rejected(self):
+        circuit = QuantumCircuit(4).cnx([0, 1, 2], 3)
+        with pytest.raises(CircuitError):
+            to_qasm(circuit)

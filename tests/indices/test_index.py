@@ -1,0 +1,34 @@
+"""Index identity and wire naming."""
+
+import pytest
+
+from repro.indices.index import Index, wire
+
+
+class TestIndex:
+    def test_identity_by_name(self):
+        assert Index("a") == Index("a")
+        assert Index("a", qubit=0) == Index("a", qubit=5)
+        assert hash(Index("a")) == hash(Index("a", qubit=3))
+
+    def test_inequality(self):
+        assert Index("a") != Index("b")
+        assert Index("a") != "a"
+
+    def test_immutable(self):
+        idx = Index("a")
+        with pytest.raises(AttributeError):
+            idx.name = "b"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Index("")
+
+    def test_wire_naming(self):
+        idx = wire(3, 7)
+        assert idx.name == "x3_7"
+        assert idx.qubit == 3
+        assert idx.time == 7
+
+    def test_usable_in_sets(self):
+        assert len({Index("a"), Index("a"), Index("b")}) == 2

@@ -1,0 +1,65 @@
+"""Index orders."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.indices.index import Index, wire
+from repro.indices.order import IndexOrder, require_same_order
+
+
+class TestRegistration:
+    def test_levels_increase(self):
+        order = IndexOrder()
+        assert order.register(Index("a")) == 0
+        assert order.register(Index("b")) == 1
+
+    def test_idempotent(self):
+        order = IndexOrder()
+        order.register(Index("a"))
+        assert order.register(Index("a")) == 0
+        assert len(order) == 1
+
+    def test_unknown_raises(self):
+        order = IndexOrder()
+        with pytest.raises(IndexError_):
+            order.level(Index("ghost"))
+
+    def test_contains_and_index_at(self):
+        order = IndexOrder([Index("a"), Index("b")])
+        assert Index("a") in order
+        assert Index("z") not in order
+        assert order.index_at(1) == Index("b")
+
+    def test_sorted_and_levels_of(self):
+        order = IndexOrder([Index("a"), Index("b"), Index("c")])
+        assert order.sorted([Index("c"), Index("a")]) == [Index("a"),
+                                                          Index("c")]
+        assert order.levels_of([Index("c"), Index("a")]) == [0, 2]
+
+
+class TestPolicies:
+    def test_qubit_major(self):
+        indices = [wire(1, 0), wire(0, 1), wire(0, 0), wire(1, 2)]
+        order = IndexOrder.qubit_major(indices)
+        names = [order.index_at(i).name for i in range(4)]
+        assert names == ["x0_0", "x0_1", "x1_0", "x1_2"]
+
+    def test_time_major(self):
+        indices = [wire(1, 0), wire(0, 1), wire(0, 0), wire(1, 2)]
+        order = IndexOrder.time_major(indices)
+        names = [order.index_at(i).name for i in range(4)]
+        assert names == ["x0_0", "x1_0", "x0_1", "x1_2"]
+
+    def test_coordinate_free_indices_sort_last(self):
+        order = IndexOrder.qubit_major([Index("zz"), wire(0, 0)])
+        assert order.index_at(0).name == "x0_0"
+
+
+class TestRequireSameOrder:
+    def test_same_object_ok(self):
+        order = IndexOrder()
+        require_same_order(order, order)
+
+    def test_different_objects_rejected(self):
+        with pytest.raises(IndexError_):
+            require_same_order(IndexOrder(), IndexOrder())

@@ -1,0 +1,93 @@
+"""Property tests across the circuit pipeline.
+
+Random circuits through: TDD operator vs dense simulator, QASM round
+trips, decomposition invariance, and network contraction-order
+invariance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.decompose import decompose_circuit
+from repro.circuits.library import random_circuit
+from repro.circuits.network import circuit_to_tdd, circuit_to_tdd_network
+from repro.sim.statevector import circuit_unitary
+from repro.tdd.manager import TDDManager
+
+SEEDS = st.integers(min_value=0, max_value=10 ** 6)
+
+
+def _equal_up_to_phase(u, v, atol=1e-8):
+    ratio = u @ v.conj().T
+    return (np.allclose(ratio, ratio[0, 0] * np.eye(u.shape[0]), atol=atol)
+            and np.isclose(abs(ratio[0, 0]), 1.0, atol=atol))
+
+
+class TestOperatorConsistency:
+    @given(SEEDS)
+    @settings(max_examples=10)
+    def test_tdd_operator_norm_preserving(self, seed):
+        """Unitary circuits: the operator TDD applied to each basis
+        state must preserve the norm."""
+        from repro.tdd import construction as tc
+        from repro.utils.bitops import int_to_bits
+        circuit = random_circuit(3, 8, seed=seed)
+        manager = TDDManager()
+        operator, inputs, outputs = circuit_to_tdd(circuit, manager)
+        for basis in (0, 5, 7):
+            psi = tc.basis_state(manager, inputs, int_to_bits(basis, 3))
+            out = psi.contract(operator,
+                               [i for i in inputs if i not in outputs])
+            assert np.isclose(out.norm(), 1.0, atol=1e-8)
+
+    @given(SEEDS)
+    @settings(max_examples=8)
+    def test_inverse_circuit_gives_adjoint_operator(self, seed):
+        circuit = random_circuit(3, 8, seed=seed)
+        u = circuit_unitary(circuit)
+        v = circuit_unitary(circuit.inverse())
+        assert np.allclose(u @ v, np.eye(8), atol=1e-8)
+
+
+class TestDecomposition:
+    @given(SEEDS)
+    @settings(max_examples=8)
+    def test_lowering_preserves_unitary(self, seed):
+        circuit = random_circuit(3, 10, seed=seed)
+        lowered = decompose_circuit(circuit, keep_ccx=False)
+        for gate in lowered.gates:
+            assert len(gate.qubits) <= 2
+        assert _equal_up_to_phase(circuit_unitary(lowered),
+                                  circuit_unitary(circuit))
+
+
+class TestQASM:
+    @given(SEEDS)
+    @settings(max_examples=8)
+    def test_round_trip(self, seed):
+        from repro.circuits.qasm import parse_qasm, to_qasm
+        circuit = random_circuit(3, 10, seed=seed, allow_ccx=True)
+        text = to_qasm(circuit)
+        parsed = parse_qasm(text)
+        assert _equal_up_to_phase(circuit_unitary(parsed),
+                                  circuit_unitary(circuit))
+
+
+class TestNetworkOrderInvariance:
+    @given(SEEDS)
+    @settings(max_examples=8)
+    def test_any_fold_order_same_tensor(self, seed):
+        """Contracting the gate network in a random order must produce
+        the same operator tensor (the multiplicity rule keeps shared
+        indices alive exactly as long as needed)."""
+        circuit = random_circuit(3, 8, seed=seed)
+        manager = TDDManager()
+        network, inputs, outputs = circuit_to_tdd_network(circuit, manager)
+        reference = network.contract_all()
+        rng = np.random.default_rng(seed)
+        order = list(rng.permutation(len(network.tensors)))
+        network2, _, _ = circuit_to_tdd_network(circuit, manager)
+        shuffled = network2.contract_all(order=[int(i) for i in order])
+        assert reference.allclose(shuffled)

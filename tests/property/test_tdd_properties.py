@@ -1,0 +1,106 @@
+"""Hypothesis property tests for the TDD core.
+
+These pin the algebraic laws the image computation algorithms rely on:
+canonicity, linearity, contraction/einsum agreement and slicing
+consistency, on arbitrary random tensors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.indices.index import Index
+from repro.tdd import construction as tc
+
+from tests.helpers import fresh_manager
+
+NAMES = ["p0", "p1", "p2", "p3"]
+
+
+def tensor_strategy(rank: int):
+    finite = st.floats(min_value=-4, max_value=4, allow_nan=False,
+                       allow_infinity=False, width=32)
+    return arrays(np.float64, (2,) * rank, elements=finite)
+
+
+def build(manager, arr, names):
+    return tc.from_numpy(manager, arr.astype(complex),
+                         [Index(n) for n in names])
+
+
+class TestCanonicity:
+    @given(tensor_strategy(3))
+    def test_roundtrip(self, arr):
+        m = fresh_manager(NAMES)
+        t = build(m, arr, NAMES[:3])
+        assert np.allclose(t.to_numpy(), arr, atol=1e-9)
+
+    @given(tensor_strategy(3))
+    def test_same_tensor_same_node(self, arr):
+        m = fresh_manager(NAMES)
+        t1 = build(m, arr, NAMES[:3])
+        t2 = build(m, arr.copy(), NAMES[:3])
+        assert t1.root.node is t2.root.node
+
+    @given(tensor_strategy(2), st.sampled_from([2.0, -1.0, 0.5, 3.0]))
+    def test_scaling_reuses_node(self, arr, factor):
+        # canonical form: w * T and T share the node structure
+        m = fresh_manager(NAMES)
+        t1 = build(m, arr, NAMES[:2])
+        t2 = build(m, factor * arr, NAMES[:2])
+        if not t1.is_zero:
+            assert t1.root.node is t2.root.node
+
+
+class TestLinearity:
+    @given(tensor_strategy(3), tensor_strategy(3))
+    def test_add(self, a, b):
+        m = fresh_manager(NAMES)
+        out = build(m, a, NAMES[:3]) + build(m, b, NAMES[:3])
+        assert np.allclose(out.to_numpy(), a + b, atol=1e-8)
+
+    @given(tensor_strategy(3))
+    def test_add_inverse(self, a):
+        m = fresh_manager(NAMES)
+        t = build(m, a, NAMES[:3])
+        assert (t + (-t)).is_zero
+
+    @given(tensor_strategy(2), tensor_strategy(2), tensor_strategy(2))
+    def test_contract_distributes(self, a, b, c):
+        m = fresh_manager(NAMES)
+        ta = build(m, a, ["p0", "p1"])
+        tb = build(m, b, ["p1", "p2"])
+        tcc = build(m, c, ["p1", "p2"])
+        left = ta.contract(tb + tcc, [Index("p1")])
+        right = ta.contract(tb, [Index("p1")]) + ta.contract(
+            tcc, [Index("p1")])
+        assert left.allclose(right, tol=1e-6)
+
+
+class TestContraction:
+    @given(tensor_strategy(2), tensor_strategy(2))
+    def test_matches_einsum(self, a, b):
+        m = fresh_manager(NAMES)
+        ta = build(m, a, ["p0", "p1"])
+        tb = build(m, b, ["p1", "p2"])
+        out = ta.contract(tb, [Index("p1")])
+        assert np.allclose(out.to_numpy(), np.einsum("ij,jk->ik", a, b),
+                           atol=1e-8)
+
+    @given(tensor_strategy(3))
+    def test_slice_sum_recomposes(self, a):
+        m = fresh_manager(NAMES)
+        t = build(m, a, NAMES[:3])
+        for name in NAMES[:3]:
+            s0 = t.slice({Index(name): 0})
+            s1 = t.slice({Index(name): 1})
+            assert np.allclose((s0 + s1).to_numpy(),
+                               a.sum(axis=NAMES[:3].index(name)),
+                               atol=1e-8)
+
+    @given(tensor_strategy(3))
+    def test_norm_matches(self, a):
+        m = fresh_manager(NAMES)
+        t = build(m, a, NAMES[:3])
+        assert np.isclose(t.norm(), np.linalg.norm(a), atol=1e-8)

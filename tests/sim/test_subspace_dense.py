@@ -1,0 +1,79 @@
+"""Dense subspace reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SubspaceError
+from repro.sim.subspace_dense import DenseSubspace
+
+
+class TestConstruction:
+    def test_from_dependent_vectors(self):
+        v = np.array([1, 0, 0, 0], dtype=complex)
+        sub = DenseSubspace.from_vectors([v, 2 * v, v + 0j], 4)
+        assert sub.dimension == 1
+
+    def test_from_empty(self):
+        assert DenseSubspace.from_vectors([], 4).dimension == 0
+
+    def test_zero_and_full(self):
+        assert DenseSubspace.zero(8).dimension == 0
+        assert DenseSubspace.full(8).dimension == 8
+
+    def test_length_mismatch(self):
+        with pytest.raises(SubspaceError):
+            DenseSubspace.from_vectors([np.ones(3)], 4)
+
+
+class TestAlgebra:
+    def test_join(self):
+        e0 = np.eye(4)[:, 0]
+        e1 = np.eye(4)[:, 1]
+        a = DenseSubspace.from_vectors([e0], 4)
+        b = DenseSubspace.from_vectors([e1], 4)
+        j = a.join(b)
+        assert j.dimension == 2
+        assert j.contains(a) and j.contains(b)
+
+    def test_join_overlapping(self):
+        e0 = np.eye(4)[:, 0]
+        mix = (np.eye(4)[:, 0] + np.eye(4)[:, 1]) / np.sqrt(2)
+        a = DenseSubspace.from_vectors([e0, mix], 4)
+        b = DenseSubspace.from_vectors([e0], 4)
+        assert a.join(b).dimension == 2
+
+    def test_projector_idempotent(self, rng):
+        vs = [rng.normal(size=8) + 1j * rng.normal(size=8)
+              for _ in range(3)]
+        sub = DenseSubspace.from_vectors(vs, 8)
+        p = sub.projector()
+        assert np.allclose(p @ p, p, atol=1e-9)
+
+    def test_image_under_unitary_preserves_dim(self, rng):
+        from scipy.stats import unitary_group
+        u = unitary_group.rvs(8, random_state=1)
+        vs = [rng.normal(size=8) for _ in range(3)]
+        sub = DenseSubspace.from_vectors(vs, 8)
+        img = sub.image([u])
+        assert img.dimension == sub.dimension
+
+    def test_image_projector_shrinks(self):
+        p0 = np.diag([1, 0]).astype(complex)
+        sub = DenseSubspace.full(2)
+        img = sub.image([p0])
+        assert img.dimension == 1
+
+
+class TestPredicates:
+    def test_contains_vector(self):
+        sub = DenseSubspace.from_vectors([np.eye(4)[:, 0]], 4)
+        assert sub.contains_vector(np.eye(4)[:, 0] * 2.5)
+        assert not sub.contains_vector(np.eye(4)[:, 1])
+        assert sub.contains_vector(np.zeros(4))
+
+    def test_equals(self):
+        e0, e1 = np.eye(4)[:, 0], np.eye(4)[:, 1]
+        a = DenseSubspace.from_vectors([e0, e1], 4)
+        b = DenseSubspace.from_vectors([(e0 + e1), (e0 - e1)], 4)
+        assert a.equals(b)
+        assert not a.equals(DenseSubspace.from_vectors([e0], 4))

@@ -1,0 +1,102 @@
+"""Subspace metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.subspace.metrics import (chordal_distance, principal_angles,
+                                    projector_distance, subspace_fidelity)
+
+from tests.helpers import make_space
+
+
+class TestProjectorDistance:
+    def test_zero_for_equal(self, rng):
+        space = make_space(2)
+        a = space.span([space.from_amplitudes(rng.normal(size=4))])
+        assert projector_distance(a, a) == pytest.approx(0.0, abs=1e-7)
+
+    def test_orthogonal_rank_one(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        b = space.span([space.basis_state([1])])
+        # ||P1 - P2||_F = sqrt(2) for orthogonal rank-1 projectors
+        assert projector_distance(a, b) == pytest.approx(math.sqrt(2))
+
+    def test_matches_dense(self, rng):
+        space = make_space(2)
+        a = space.span([space.from_amplitudes(rng.normal(size=4))
+                        for _ in range(2)])
+        b = space.span([space.from_amplitudes(rng.normal(size=4))])
+        expect = np.linalg.norm(a.to_dense() - b.to_dense())
+        assert projector_distance(a, b) == pytest.approx(expect, abs=1e-7)
+
+    def test_symmetric(self, rng):
+        space = make_space(2)
+        a = space.span([space.from_amplitudes(rng.normal(size=4))])
+        b = space.span([space.from_amplitudes(rng.normal(size=4))])
+        assert projector_distance(a, b) == pytest.approx(
+            projector_distance(b, a))
+
+
+class TestFidelity:
+    def test_equal_subspaces(self, rng):
+        space = make_space(2)
+        a = space.span([space.from_amplitudes(rng.normal(size=4))
+                        for _ in range(2)])
+        assert subspace_fidelity(a, a) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        b = space.span([space.basis_state([1])])
+        assert subspace_fidelity(a, b) == pytest.approx(0.0)
+
+    def test_zero_subspaces(self):
+        space = make_space(1)
+        z = space.zero_subspace()
+        assert subspace_fidelity(z, z) == 1.0
+        a = space.span([space.basis_state([0])])
+        assert subspace_fidelity(z, a) == 0.0
+
+    def test_in_unit_interval(self, rng):
+        space = make_space(2)
+        a = space.span([space.from_amplitudes(rng.normal(size=4))
+                        for _ in range(2)])
+        b = space.span([space.from_amplitudes(rng.normal(size=4))])
+        fidelity = subspace_fidelity(a, b)
+        assert 0.0 <= fidelity <= 1.0
+
+
+class TestPrincipalAngles:
+    def test_identical_rays(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        assert principal_angles(a, a) == pytest.approx([0.0])
+
+    def test_orthogonal_rays(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        b = space.span([space.basis_state([1])])
+        assert principal_angles(a, b) == pytest.approx([math.pi / 2])
+
+    def test_forty_five_degrees(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        plus = space.from_amplitudes(np.array([1, 1]) / np.sqrt(2))
+        b = space.span([plus])
+        assert principal_angles(a, b) == pytest.approx([math.pi / 4])
+
+    def test_empty_for_zero(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        assert principal_angles(a, space.zero_subspace()) == []
+
+    def test_chordal_distance_consistent(self):
+        space = make_space(1)
+        a = space.span([space.basis_state([0])])
+        plus = space.from_amplitudes(np.array([1, 1]) / np.sqrt(2))
+        b = space.span([plus])
+        assert chordal_distance(a, b) == pytest.approx(
+            math.sin(math.pi / 4))

@@ -1,0 +1,100 @@
+"""Basis decomposition of projector TDDs (paper, Section IV.A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SubspaceError
+from repro.subspace.projector import apply_projector, basis_decompose
+from repro.tdd import construction as tc
+
+from tests.helpers import MINUS, PLUS, make_space
+
+
+class TestBasisDecompose:
+    def test_rank_one_projector(self):
+        space = make_space(2)
+        sub = space.span([space.basis_state([1, 0])])
+        recovered = basis_decompose(space, sub.projector)
+        assert recovered.dimension == 1
+        assert recovered.equals(sub)
+
+    def test_paper_example1(self):
+        """Example 1: decomposing the Fig. 1 projector.
+
+        The first extracted column must be the normalised first column
+        1/sqrt(3)(|00>+|01>+|10>)|->, the second |11->.
+        """
+        space = make_space(3)
+        s1 = space.product_state([PLUS, PLUS, MINUS])
+        s2 = space.product_state(
+            [np.array([0., 1.]), np.array([0., 1.]), MINUS])
+        sub = space.span([s1, s2])
+        recovered = basis_decompose(space, sub.projector)
+        assert recovered.dimension == 2
+        assert recovered.equals(sub)
+        v1 = recovered.basis[0].to_numpy().reshape(-1)
+        expect1 = np.kron(
+            (np.kron([1, 0], [1, 0]) + np.kron([1, 0], [0, 1])
+             + np.kron([0, 1], [1, 0])) / np.sqrt(3), MINUS)
+        assert np.isclose(abs(np.vdot(v1, expect1)), 1.0, atol=1e-9)
+        v2 = recovered.basis[1].to_numpy().reshape(-1)
+        expect2 = np.kron(np.kron([0, 1], [0, 1]), MINUS)
+        assert np.isclose(abs(np.vdot(v2, expect2)), 1.0, atol=1e-9)
+
+    def test_random_projector_round_trip(self, rng):
+        space = make_space(3)
+        states = [space.from_amplitudes(rng.normal(size=8)
+                                        + 1j * rng.normal(size=8))
+                  for _ in range(4)]
+        sub = space.span(states)
+        recovered = basis_decompose(space, sub.projector)
+        assert recovered.equals(sub)
+
+    def test_zero_projector(self):
+        space = make_space(2)
+        zero = space.zero_subspace()
+        recovered = basis_decompose(space, zero.projector)
+        assert recovered.dimension == 0
+
+    def test_full_space_projector(self):
+        space = make_space(2)
+        sub = space.span([space.basis_state([a, b])
+                          for a in (0, 1) for b in (0, 1)])
+        recovered = basis_decompose(space, sub.projector)
+        assert recovered.dimension == 4
+
+    def test_non_projector_rejected(self):
+        space = make_space(1)
+        # |0><1| is not a projector: its "column" extraction never
+        # deflates to zero cleanly
+        ket = tc.basis_state(space.manager, space.kets, [0])
+        bra = tc.basis_state(space.manager, space.bras, [1])
+        not_projector = ket.product(bra)
+        with pytest.raises(SubspaceError):
+            basis_decompose(space, not_projector, max_dim=4)
+
+    def test_max_dim_cap(self):
+        space = make_space(2)
+        sub = space.span([space.basis_state([0, 0]),
+                          space.basis_state([1, 1])])
+        with pytest.raises(SubspaceError):
+            basis_decompose(space, sub.projector, max_dim=1)
+
+
+class TestApplyProjector:
+    def test_apply_matches_dense(self, rng):
+        space = make_space(2)
+        sub = space.span([space.from_amplitudes(rng.normal(size=4))
+                          for _ in range(2)])
+        state = space.from_amplitudes(rng.normal(size=4)
+                                      + 1j * rng.normal(size=4))
+        projected = apply_projector(space, sub.projector, state)
+        expect = sub.to_dense() @ state.to_numpy().reshape(-1)
+        assert np.allclose(projected.to_numpy().reshape(-1), expect,
+                           atol=1e-8)
+
+    def test_projection_fixed_point(self, rng):
+        space = make_space(2)
+        sub = space.span([space.from_amplitudes(rng.normal(size=4))])
+        v = sub.basis[0]
+        assert apply_projector(space, sub.projector, v).allclose(v)

@@ -1,0 +1,77 @@
+"""QTS model builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SystemError_
+from repro.systems import models
+
+
+class TestGHZ:
+    def test_structure(self):
+        qts = models.ghz_qts(4)
+        assert qts.num_qubits == 4
+        assert qts.initial.dimension == 1
+        assert qts.symbols == ["ghz"]
+
+
+class TestGrover:
+    def test_plus_initial(self):
+        qts = models.grover_qts(4)
+        assert qts.initial.dimension == 1
+        amps = qts.initial.basis[0].to_numpy().reshape(-1)
+        # |+++-> on 4 qubits: uniform magnitude (1/sqrt(2))^4 = 1/4
+        assert np.allclose(np.abs(amps), 0.25)
+
+    def test_invariant_initial(self):
+        qts = models.grover_qts(4, initial="invariant")
+        assert qts.initial.dimension == 2
+
+    def test_unknown_initial(self):
+        with pytest.raises(SystemError_):
+            models.grover_qts(4, initial="bogus")
+
+
+class TestBV:
+    def test_initial_is_zero_one(self):
+        qts = models.bv_qts(4)
+        amps = qts.initial.basis[0].to_numpy()
+        assert amps[0, 0, 0, 1] == 1
+
+    def test_custom_secret(self):
+        qts = models.bv_qts(4, secret=[1, 0, 1])
+        circuit = qts.operations[0].kraus_circuits[0]
+        assert circuit.count_ops()["cx"] == 2
+
+
+class TestQFT:
+    def test_structure(self):
+        qts = models.qft_qts(3)
+        assert qts.initial.dimension == 1
+        assert qts.symbols == ["qft"]
+
+
+class TestQRW:
+    def test_two_operations_three_kraus(self):
+        qts = models.qrw_qts(4, 0.2)
+        assert qts.symbols == ["T1", "T2"]
+        assert qts.operation("T1").num_kraus == 1
+        assert qts.operation("T2").num_kraus == 2
+
+    def test_start_position(self):
+        qts = models.qrw_qts(4, 0.2, start_position=5)
+        amps = qts.initial.basis[0].to_numpy()
+        assert amps[0, 1, 0, 1] == 1  # coin 0, position 101
+
+    def test_every_operation_valid(self):
+        qts = models.qrw_qts(3, 0.4)
+        for op in qts.operations:
+            assert op.is_trace_nonincreasing()
+
+
+class TestBitflip:
+    def test_structure(self):
+        qts = models.bitflip_qts()
+        assert qts.num_qubits == 6
+        assert qts.initial.dimension == 3
+        assert qts.operation("correct").num_kraus == 4

@@ -1,0 +1,49 @@
+"""QuantumOperation validation and Kraus semantics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import bitflip_kraus_circuits, qrw_noisy_kraus_circuits
+from repro.errors import SystemError_
+from repro.systems.operations import QuantumOperation
+
+
+class TestValidation:
+    def test_needs_kraus(self):
+        with pytest.raises(SystemError_):
+            QuantumOperation("empty", [])
+
+    def test_width_mismatch(self):
+        with pytest.raises(SystemError_):
+            QuantumOperation("bad", [QuantumCircuit(2), QuantumCircuit(3)])
+
+    def test_unitary_constructor(self):
+        op = QuantumOperation.unitary("u", QuantumCircuit(2).h(0))
+        assert op.num_kraus == 1
+        assert op.num_qubits == 2
+
+
+class TestKrausSemantics:
+    def test_kraus_matrices(self):
+        op = QuantumOperation.unitary("x", QuantumCircuit(1).x(0))
+        mats = op.kraus_matrices()
+        assert np.allclose(mats[0], [[0, 1], [1, 0]])
+
+    def test_unitary_trace_preserving(self):
+        op = QuantumOperation.unitary("h", QuantumCircuit(1).h(0))
+        assert op.is_trace_nonincreasing()
+
+    def test_noisy_channel_trace_preserving(self):
+        keep, flip = qrw_noisy_kraus_circuits(3, 0.25)
+        op = QuantumOperation("noisy", [keep, flip])
+        assert op.is_trace_nonincreasing()
+
+    def test_bitflip_operation_nonincreasing(self):
+        op = QuantumOperation("correct", bitflip_kraus_circuits())
+        assert op.is_trace_nonincreasing()
+
+    def test_overcomplete_kraus_detected(self):
+        # {I, I} sums to 2I > I: not a valid operation
+        op = QuantumOperation("bad", [QuantumCircuit(1), QuantumCircuit(1)])
+        assert not op.is_trace_nonincreasing()

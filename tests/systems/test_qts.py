@@ -1,0 +1,78 @@
+"""QuantumTransitionSystem construction and index registration."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.errors import SystemError_
+from repro.systems.operations import QuantumOperation
+from repro.systems.qts import QuantumTransitionSystem
+
+
+def simple_qts(n=2):
+    op = QuantumOperation.unitary("u", QuantumCircuit(n).h(0).cx(0, 1))
+    return QuantumTransitionSystem(n, [op])
+
+
+class TestValidation:
+    def test_needs_operations(self):
+        with pytest.raises(SystemError_):
+            QuantumTransitionSystem(2, [])
+
+    def test_width_mismatch(self):
+        op = QuantumOperation.unitary("u", QuantumCircuit(3).h(0))
+        with pytest.raises(SystemError_):
+            QuantumTransitionSystem(2, [op])
+
+    def test_duplicate_symbols(self):
+        op1 = QuantumOperation.unitary("u", QuantumCircuit(2).h(0))
+        op2 = QuantumOperation.unitary("u", QuantumCircuit(2).x(0))
+        with pytest.raises(SystemError_):
+            QuantumTransitionSystem(2, [op1, op2])
+
+
+class TestIndexOrder:
+    def test_ket_bra_interleaved(self):
+        qts = simple_qts()
+        m = qts.manager
+        for q in range(qts.num_qubits):
+            ket_level = m.level(qts.space.kets[q])
+            bra_level = m.level(qts.space.bras[q])
+            assert bra_level == ket_level + 1
+
+    def test_all_circuit_indices_registered(self):
+        qts = simple_qts()
+        for circuit in qts.all_kraus_circuits():
+            for idx in circuit.all_wire_indices():
+                assert idx in qts.manager.order
+
+    def test_qubit_major_order(self):
+        qts = simple_qts()
+        m = qts.manager
+        # every index of qubit 0 sorts before every index of qubit 1
+        q0_levels = [m.level(i) for i in m.order.sorted(
+            [i for i in qts.space.kets if i.qubit == 0])]
+        q1_levels = [m.level(i) for i in m.order.sorted(
+            [i for i in qts.space.kets if i.qubit == 1])]
+        assert max(q0_levels) < min(q1_levels)
+
+
+class TestInitialSpace:
+    def test_set_initial_basis_states(self):
+        qts = simple_qts()
+        qts.set_initial_basis_states([[0, 0], [1, 1]])
+        assert qts.initial.dimension == 2
+
+    def test_set_initial_states(self):
+        qts = simple_qts()
+        qts.set_initial_states([qts.space.basis_state([0, 1])])
+        assert qts.initial.dimension == 1
+
+    def test_operation_lookup(self):
+        qts = simple_qts()
+        assert qts.operation("u").symbol == "u"
+        with pytest.raises(SystemError_):
+            qts.operation("missing")
+
+    def test_symbols(self):
+        qts = simple_qts()
+        assert qts.symbols == ["u"]

@@ -1,0 +1,99 @@
+"""Diagram analysis: profiles, width, density."""
+
+import numpy as np
+import pytest
+
+from repro.indices.index import Index
+from repro.tdd import construction as tc
+from repro.tdd.analysis import compare_sizes, density, profile
+
+from tests.helpers import fresh_manager, random_tensor
+
+NAMES = ["a0", "a1", "a2", "a3"]
+
+
+def idx(*names):
+    return [Index(n) for n in names]
+
+
+class TestProfile:
+    def test_basis_state_profile(self):
+        m = fresh_manager(NAMES)
+        t = tc.basis_state(m, idx("a0", "a1", "a2"), [1, 0, 1])
+        p = profile(t)
+        assert p.nodes == 4  # 3 levels + terminal
+        assert p.terminal_reached
+        assert p.levels == {"a0": 1, "a1": 1, "a2": 1}
+        assert p.max_width == 1
+        assert p.zero_edges == 3
+
+    def test_dense_random_profile(self, rng):
+        m = fresh_manager(NAMES)
+        t = tc.from_numpy(m, random_tensor(rng, 4), idx(*NAMES))
+        p = profile(t)
+        assert p.nodes == t.size()
+        # random tensor: full width doubles per level until the end
+        assert p.levels["a0"] == 1
+        assert p.levels["a1"] == 2
+        assert p.max_width >= 4
+
+    def test_zero_tensor_profile(self):
+        m = fresh_manager(NAMES)
+        p = profile(tc.zero(m, idx("a0")))
+        assert p.nodes == 0
+        assert not p.terminal_reached
+        assert p.zero_edges == 1
+
+    def test_distinct_weights(self):
+        m = fresh_manager(NAMES)
+        t = tc.from_numpy(m, np.array([1.0, -1.0]), idx("a0"))
+        p = profile(t)
+        assert p.distinct_weights >= 2
+
+
+class TestDensity:
+    def test_full_tensor(self, rng):
+        m = fresh_manager(NAMES)
+        arr = rng.normal(size=(2, 2)) + 10  # no zeros
+        t = tc.from_numpy(m, arr, idx("a0", "a1"))
+        assert density(t) == pytest.approx(1.0)
+
+    def test_basis_state(self):
+        m = fresh_manager(NAMES)
+        t = tc.basis_state(m, idx("a0", "a1", "a2"), [0, 1, 0])
+        assert density(t) == pytest.approx(1 / 8)
+
+    def test_zero(self):
+        m = fresh_manager(NAMES)
+        assert density(tc.zero(m, idx("a0"))) == 0.0
+
+    def test_identity_matrix(self):
+        m = fresh_manager(NAMES)
+        t = tc.delta(m, idx("a0", "a1"))
+        assert density(t) == pytest.approx(0.5)
+
+    def test_matches_numpy_count(self, rng):
+        m = fresh_manager(NAMES)
+        arr = random_tensor(rng, 3)
+        arr[rng.random(arr.shape) < 0.5] = 0
+        t = tc.from_numpy(m, arr, idx("a0", "a1", "a2"))
+        expect = np.count_nonzero(arr) / arr.size
+        assert density(t) == pytest.approx(expect)
+
+    def test_skipped_levels_counted(self):
+        # tensor constant in a1: ones (x) basis -> density 1/2
+        m = fresh_manager(NAMES)
+        t = tc.basis_state(m, idx("a0"), [1]).product(
+            tc.ones(m, idx("a1")))
+        assert density(t) == pytest.approx(0.5)
+
+
+class TestCompareSizes:
+    def test_labelled_sizes(self):
+        m = fresh_manager(NAMES)
+        out = compare_sizes({
+            "delta": tc.delta(m, idx("a0", "a1")),
+            "zero": tc.zero(m, idx("a0")),
+        })
+        assert out["zero"] == 1
+        assert out["delta"] >= 3

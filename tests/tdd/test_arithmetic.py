@@ -1,0 +1,103 @@
+"""TDD arithmetic vs numpy, on random dense tensors."""
+
+import numpy as np
+import pytest
+
+from repro.indices.index import Index
+from repro.tdd import construction as tc
+
+from tests.helpers import fresh_manager, random_tensor
+
+IDX = [f"a{i}" for i in range(4)]
+
+
+@pytest.fixture
+def manager():
+    return fresh_manager(IDX)
+
+
+def build(manager, arr):
+    indices = [Index(n) for n in IDX[:arr.ndim]]
+    return tc.from_numpy(manager, arr, indices)
+
+
+class TestAdd:
+    def test_add_matches_numpy(self, manager, rng):
+        a = random_tensor(rng, 3)
+        b = random_tensor(rng, 3)
+        result = build(manager, a) + build(manager, b)
+        assert np.allclose(result.to_numpy(), a + b)
+
+    def test_add_zero_is_identity(self, manager, rng):
+        a = random_tensor(rng, 2)
+        ta = build(manager, a)
+        zero = tc.zero(manager, ta.indices)
+        assert (ta + zero).allclose(ta)
+        assert (zero + ta).allclose(ta)
+
+    def test_add_is_commutative_structurally(self, manager, rng):
+        a = random_tensor(rng, 3)
+        b = random_tensor(rng, 3)
+        ta, tb = build(manager, a), build(manager, b)
+        assert (ta + tb).root.node is (tb + ta).root.node
+
+    def test_add_cancels_to_zero(self, manager, rng):
+        a = random_tensor(rng, 3)
+        ta = build(manager, a)
+        assert (ta + (-ta)).is_zero
+
+    def test_add_different_index_sets_unions(self, manager, rng):
+        # f(a0) + g(a1) is a tensor over {a0, a1}
+        f = tc.from_numpy(manager, np.array([1.0, 2.0]), [Index("a0")])
+        g = tc.from_numpy(manager, np.array([10.0, 20.0]), [Index("a1")])
+        total = f + g
+        assert set(total.index_names) == {"a0", "a1"}
+        expect = np.array([1.0, 2.0])[:, None] + np.array([10.0, 20.0])[None]
+        assert np.allclose(total.to_numpy(), expect)
+
+    def test_subtraction(self, manager, rng):
+        a = random_tensor(rng, 3)
+        b = random_tensor(rng, 3)
+        assert np.allclose((build(manager, a) - build(manager, b)).to_numpy(),
+                           a - b)
+
+
+class TestScaleNegateConj:
+    def test_scale(self, manager, rng):
+        a = random_tensor(rng, 3)
+        assert np.allclose(build(manager, a).scaled(2.5j).to_numpy(),
+                           2.5j * a)
+
+    def test_scale_by_zero(self, manager, rng):
+        assert build(manager, random_tensor(rng, 2)).scaled(0).is_zero
+
+    def test_negate(self, manager, rng):
+        a = random_tensor(rng, 3)
+        assert np.allclose((-build(manager, a)).to_numpy(), -a)
+
+    def test_conj(self, manager, rng):
+        a = random_tensor(rng, 3)
+        assert np.allclose(build(manager, a).conj().to_numpy(), a.conj())
+
+    def test_conj_involution(self, manager, rng):
+        t = build(manager, random_tensor(rng, 3))
+        assert t.conj().conj().root.node is t.root.node
+
+    def test_conj_of_zero(self, manager):
+        assert tc.zero(manager, [Index("a0")]).conj().is_zero
+
+
+class TestDistributivity:
+    def test_scale_distributes_over_add(self, manager, rng):
+        a = random_tensor(rng, 3)
+        b = random_tensor(rng, 3)
+        ta, tb = build(manager, a), build(manager, b)
+        left = (ta + tb).scaled(3.0)
+        right = ta.scaled(3.0) + tb.scaled(3.0)
+        assert left.allclose(right)
+
+    def test_add_associative(self, manager, rng):
+        tensors = [build(manager, random_tensor(rng, 3)) for _ in range(3)]
+        left = (tensors[0] + tensors[1]) + tensors[2]
+        right = tensors[0] + (tensors[1] + tensors[2])
+        assert left.allclose(right)

@@ -1,0 +1,73 @@
+"""TDD serialisation round trips (to_dict / from_dict)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.indices.index import Index
+from repro.tdd import construction as tc
+from repro.tdd.io import from_dict, to_dict
+
+from tests.helpers import fresh_manager, random_tensor
+
+NAMES = ["a0", "a1", "a2"]
+
+
+def idx(*names):
+    return [Index(n) for n in names]
+
+
+class TestRoundTrip:
+    def test_same_manager(self, rng):
+        m = fresh_manager(NAMES)
+        arr = random_tensor(rng, 3)
+        t = tc.from_numpy(m, arr, idx(*NAMES))
+        rebuilt = from_dict(m, to_dict(t))
+        assert rebuilt.root.node is t.root.node  # canonical re-interning
+        assert np.allclose(rebuilt.to_numpy(), arr)
+
+    def test_cross_manager(self, rng):
+        m1 = fresh_manager(NAMES)
+        m2 = fresh_manager(NAMES)
+        arr = random_tensor(rng, 3)
+        t = tc.from_numpy(m1, arr, idx(*NAMES))
+        rebuilt = from_dict(m2, to_dict(t))
+        assert rebuilt.manager is m2
+        assert np.allclose(rebuilt.to_numpy(), arr)
+
+    def test_through_json(self, rng):
+        m1 = fresh_manager(NAMES)
+        m2 = fresh_manager(NAMES)
+        arr = random_tensor(rng, 2)
+        t = tc.from_numpy(m1, arr, idx("a0", "a1"))
+        text = json.dumps(to_dict(t))
+        rebuilt = from_dict(m2, json.loads(text))
+        assert np.allclose(rebuilt.to_numpy(), arr)
+
+    def test_zero_tensor(self):
+        m = fresh_manager(NAMES)
+        t = tc.zero(m, idx("a0"))
+        rebuilt = from_dict(m, to_dict(t))
+        assert rebuilt.is_zero
+
+    def test_scalar(self):
+        m = fresh_manager(NAMES)
+        t = tc.scalar(m, 0.5 - 0.25j)
+        rebuilt = from_dict(m, to_dict(t))
+        assert rebuilt.scalar_value() == 0.5 - 0.25j
+
+    def test_shared_structure_preserved(self):
+        m = fresh_manager(NAMES)
+        # GHZ-ish tensor has shared subgraphs; round trip must not blow up
+        ghz = (tc.basis_state(m, idx(*NAMES), [0, 0, 0])
+               + tc.basis_state(m, idx(*NAMES), [1, 1, 1]))
+        rebuilt = from_dict(m, to_dict(ghz))
+        assert rebuilt.size() == ghz.size()
+
+    def test_projector_round_trip(self, rng):
+        from tests.helpers import make_space
+        space = make_space(2)
+        sub = space.span([space.from_amplitudes(rng.normal(size=4))])
+        rebuilt = from_dict(space.manager, to_dict(sub.projector))
+        assert rebuilt.allclose(sub.projector)

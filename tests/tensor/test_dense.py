@@ -1,0 +1,112 @@
+"""DenseTensor reference backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TDDError
+from repro.indices.index import Index
+from repro.tensor.dense import DenseTensor
+
+from tests.helpers import random_tensor
+
+
+def idx(*names):
+    return [Index(n) for n in names]
+
+
+def make(rng, *names):
+    return DenseTensor(random_tensor(rng, len(names)), idx(*names))
+
+
+class TestBasics:
+    def test_shape_validation(self):
+        with pytest.raises(TDDError):
+            DenseTensor(np.zeros((2, 3)), idx("a", "b"))
+
+    def test_duplicate_labels(self):
+        with pytest.raises(TDDError):
+            DenseTensor(np.zeros((2, 2)), idx("a", "a"))
+
+    def test_rank_scalar(self):
+        t = DenseTensor(np.array(5.0), ())
+        assert t.rank == 0
+
+
+class TestContract:
+    def test_matrix_product(self, rng):
+        a = random_tensor(rng, 2)
+        b = random_tensor(rng, 2)
+        ta = DenseTensor(a, idx("i", "j"))
+        tb = DenseTensor(b, idx("j", "k"))
+        out = ta.contract(tb, idx("j"))
+        assert np.allclose(out.array, a @ b)
+        assert out.index_names == ("i", "k")
+
+    def test_shared_unsummed_elementwise(self, rng):
+        a = random_tensor(rng, 2)
+        b = random_tensor(rng, 2)
+        ta = DenseTensor(a, idx("i", "j"))
+        tb = DenseTensor(b, idx("j", "k"))
+        out = ta.contract(tb, ())
+        assert np.allclose(out.array, np.einsum("ij,jk->ijk", a, b))
+
+    def test_phantom_index_factor_two(self, rng):
+        a = random_tensor(rng, 1)
+        b = random_tensor(rng, 1)
+        ta = DenseTensor(a, idx("i"))
+        tb = DenseTensor(b, idx("i"))
+        out = ta.contract(tb, idx("i", "ghost"))
+        assert np.isclose(complex(out.array), 2 * np.sum(a * b))
+
+    def test_product_disjoint(self, rng):
+        ta = make(rng, "i")
+        tb = make(rng, "j")
+        out = ta.product(tb)
+        assert np.allclose(out.array, np.outer(ta.array, tb.array))
+
+
+class TestSliceAndTranspose:
+    def test_slice(self, rng):
+        t = make(rng, "i", "j", "k")
+        out = t.slice({Index("j"): 1})
+        assert np.allclose(out.array, t.array[:, 1])
+        assert out.index_names == ("i", "k")
+
+    def test_slice_unknown_raises(self, rng):
+        with pytest.raises(TDDError):
+            make(rng, "i").slice({Index("z"): 0})
+
+    def test_transpose_like(self, rng):
+        t = make(rng, "i", "j")
+        flipped = t.transpose_like(idx("j", "i"))
+        assert np.allclose(flipped.array, t.array.T)
+
+    def test_rename(self, rng):
+        t = make(rng, "i", "j")
+        renamed = t.rename({"i": "x"})
+        assert renamed.index_names == ("x", "j")
+
+
+class TestArithmetic:
+    def test_add_aligns_axes(self, rng):
+        a = random_tensor(rng, 2)
+        b = random_tensor(rng, 2)
+        ta = DenseTensor(a, idx("i", "j"))
+        tb = DenseTensor(b, idx("j", "i"))
+        out = ta + tb
+        assert np.allclose(out.array, a + b.T)
+
+    def test_add_mismatch_raises(self, rng):
+        with pytest.raises(TDDError):
+            make(rng, "i") + make(rng, "j")
+
+    def test_scaled_conj(self, rng):
+        t = make(rng, "i", "j")
+        assert np.allclose(t.scaled(2j).array, 2j * t.array)
+        assert np.allclose(t.conj().array, t.array.conj())
+
+    def test_allclose(self, rng):
+        t = make(rng, "i", "j")
+        assert t.allclose(t.transpose_like(idx("j", "i")).transpose_like(
+            idx("i", "j")))
+        assert not t.allclose(t.scaled(2))

@@ -1,0 +1,52 @@
+"""Contraction-order heuristics."""
+
+import numpy as np
+
+from repro.indices.index import Index
+from repro.tensor.dense import DenseTensor
+from repro.tensor.network import TensorNetwork
+from repro.tensor.ordering import greedy_order, sequential_order
+
+from tests.helpers import random_tensor
+
+
+def dense(rng, names):
+    return DenseTensor(random_tensor(rng, len(names)),
+                       [Index(n) for n in names])
+
+
+class TestSequential:
+    def test_identity_order(self, rng):
+        tensors = [dense(rng, ["a"]), dense(rng, ["b"])]
+        assert sequential_order(tensors, set()) == [0, 1]
+
+
+class TestGreedy:
+    def test_is_permutation(self, rng):
+        tensors = [dense(rng, ["a", "b"]), dense(rng, ["b", "c"]),
+                   dense(rng, ["x", "y"]), dense(rng, ["c", "d"])]
+        order = greedy_order(tensors, {Index("a"), Index("d"),
+                                       Index("x"), Index("y")})
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_prefers_connected_tensors(self, rng):
+        # starting from 0 (a-b), the next pick should share an index
+        tensors = [dense(rng, ["a", "b"]), dense(rng, ["x", "y"]),
+                   dense(rng, ["b", "c"])]
+        order = greedy_order(tensors, {Index("a"), Index("c"),
+                                       Index("x"), Index("y")})
+        assert order[1] == 2  # the connected one, not the disjoint one
+
+    def test_result_matches_sequential(self, rng):
+        # both orders must produce the same final tensor
+        tensors = [dense(rng, ["a", "b"]), dense(rng, ["b", "c"]),
+                   dense(rng, ["c", "d"])]
+        open_set = {Index("a"), Index("d")}
+        net1 = TensorNetwork(list(tensors), set(open_set))
+        net2 = TensorNetwork(list(tensors), set(open_set))
+        out1 = net1.contract_all(order=sequential_order(tensors, open_set))
+        out2 = net2.contract_all(order=greedy_order(tensors, open_set))
+        assert out1.allclose(out2)
+
+    def test_empty(self):
+        assert greedy_order([], set()) == []

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestImage:
+    def test_grover(self, capsys):
+        assert main(["image", "grover", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "dim(T(S0)) = 1" in out
+        assert "max #node" in out
+
+    def test_bitflip_basic(self, capsys):
+        assert main(["image", "bitflip", "--method", "basic"]) == 0
+        assert "dim(T(S0)) = 1" in capsys.readouterr().out
+
+    def test_addition_method(self, capsys):
+        assert main(["image", "ghz", "--size", "5", "--method",
+                     "addition", "--k", "2"]) == 0
+
+
+class TestReach:
+    def test_qrw(self, capsys):
+        assert main(["reach", "qrw", "--size", "3", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "converged  = True" in out
+
+    def test_frontier_flag(self, capsys):
+        assert main(["reach", "qrw", "--size", "3", "--frontier"]) == 0
+        assert "frontier=True" in capsys.readouterr().out
+
+
+class TestInvariant:
+    def test_grover_invariant_exit_zero(self, capsys):
+        code = main(["invariant", "grover", "--size", "4",
+                     "--initial", "invariant", "--strict"])
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_grover_plus_exit_one(self, capsys):
+        code = main(["invariant", "grover", "--size", "4"])
+        assert code == 1
+
+    def test_qpe_model(self, capsys):
+        assert main(["image", "qpe", "--size", "3",
+                     "--phase", "0.625"]) == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["image", "nonsense"])
