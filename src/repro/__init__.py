@@ -2,10 +2,12 @@
 
 A complete reimplementation of Hong, Gao, Li, Ying & Ying, *"Image
 Computation for Quantum Transition Systems"* (DATE 2025): tensor
-decision diagrams, quantum circuits as tensor networks, subspace
-algebra, quantum transition systems, three image computation
-algorithms (basic / addition partition / contraction partition) and a
-model-checking layer on top.
+decision diagrams with a fully iterative apply kernel (instrumented
+operation caches, root-based garbage collection — see
+``ARCHITECTURE.md``), quantum circuits as tensor networks, subspace
+algebra, quantum transition systems, four image computation algorithms
+(basic / addition partition / contraction partition / hybrid) and a
+model-checking layer with pluggable backends on top.
 
 Quickstart::
 
@@ -14,6 +16,16 @@ Quickstart::
     qts = models.grover_qts(4, initial="invariant")
     checker = ModelChecker(qts, method="contraction", k1=4, k2=4)
     assert checker.check_invariant(strict=True)   # T(S) = S
+
+    result = checker.image()              # T(S0) with kernel stats:
+    result.stats.cache_hit_rate           #   memo-table hit rate
+    result.stats.peak_live_nodes          #   unique-table high water
+    result.stats.live_nodes               #   ... after garbage collection
+
+    # corroborate the symbolic engine against the dense statevector
+    # reference (small instances only — the dense backend is 2^n):
+    assert checker.cross_validate().ok
+    dense = ModelChecker(qts, backend="dense")    # same API, dense engine
 """
 
 from repro.circuits.circuit import QuantumCircuit
@@ -24,6 +36,8 @@ from repro.image import (AdditionImageComputer, BasicImageComputer,
                          compute_image, make_computer)
 from repro.indices.index import Index, wire
 from repro.indices.order import IndexOrder
+from repro.mc.backends import (Backend, DenseStatevectorBackend, TDDBackend,
+                               cross_validate, make_backend)
 from repro.mc.checker import ModelChecker
 from repro.mc.reachability import reachable_space
 from repro.subspace.subspace import StateSpace, Subspace
@@ -42,6 +56,8 @@ __all__ = [
     "ContractionImageComputer", "ImageResult", "compute_image",
     "make_computer",
     "Index", "wire", "IndexOrder",
+    "Backend", "DenseStatevectorBackend", "TDDBackend",
+    "cross_validate", "make_backend",
     "ModelChecker", "reachable_space",
     "StateSpace", "Subspace", "basis_decompose",
     "models", "QuantumOperation", "QuantumTransitionSystem",

@@ -3,4 +3,7 @@
 from repro.bench.runner import BenchRow, run_image_benchmark
 from repro.bench import table1, table2
 
+# repro.bench.smoke is a CLI entry point (`python -m repro.bench.smoke`);
+# importing it eagerly here would trigger the runpy double-import warning.
+
 __all__ = ["BenchRow", "run_image_benchmark", "table1", "table2"]

@@ -3,7 +3,9 @@
 A benchmark run builds a *fresh* QTS (so transition-TDD construction is
 included in the measured time, matching the paper's methodology),
 computes one image, and reports wall seconds + peak TDD node count —
-the two columns of Table I.
+the two columns of Table I — plus the kernel instrumentation added by
+the iterative apply refactor: operation-cache hit rate and the
+peak/post-GC live-node population of the manager.
 """
 
 from __future__ import annotations
@@ -25,12 +27,27 @@ class BenchRow:
     max_nodes: int
     dimension: int
     timed_out: bool = False
+    #: fraction of operation-cache lookups answered from the memo tables
+    cache_hit_rate: float = 0.0
+    #: high-water mark of the manager's unique table during the run
+    peak_live_nodes: int = 0
+    #: unique-table population after the post-run garbage collection
+    live_nodes: int = 0
+
+    def metric_cells(self):
+        """The per-method table columns: time, max#node, hit%, live/peak."""
+        if self.timed_out:
+            return ("-", "-", "-", "-")
+        return (f"{self.seconds:.2f}", str(self.max_nodes),
+                self.hit_rate_percent,
+                f"{self.live_nodes}/{self.peak_live_nodes}")
 
     def cells(self):
-        if self.timed_out:
-            return (self.benchmark, self.method, "-", "-")
-        return (self.benchmark, self.method, f"{self.seconds:.2f}",
-                str(self.max_nodes))
+        return (self.benchmark, self.method) + self.metric_cells()
+
+    @property
+    def hit_rate_percent(self) -> str:
+        return f"{100 * self.cache_hit_rate:.0f}%"
 
 
 def run_image_benchmark(builder: Callable[[], QuantumTransitionSystem],
@@ -48,7 +65,10 @@ def run_image_benchmark(builder: Callable[[], QuantumTransitionSystem],
     row = BenchRow(benchmark=label, method=method,
                    seconds=result.stats.seconds,
                    max_nodes=result.stats.max_nodes,
-                   dimension=result.dimension)
+                   dimension=result.dimension,
+                   cache_hit_rate=result.stats.cache_hit_rate,
+                   peak_live_nodes=result.stats.peak_live_nodes,
+                   live_nodes=result.stats.live_nodes)
     if timeout_seconds is not None and row.seconds > timeout_seconds:
         row.timed_out = True
     return row

@@ -110,16 +110,17 @@ def format_rows(rows: List[BenchRow]) -> str:
         by_label[row.benchmark][row.method] = row
     headers = ["Benchmark"]
     for method in TABLE1_METHODS:
-        headers += [f"{method} time", f"{method} max#node"]
+        headers += [f"{method} time", f"{method} max#node",
+                    f"{method} hit%", f"{method} live"]
     table: List[List[str]] = []
     for label in order:
         cells: List[str] = [label]
         for method in TABLE1_METHODS:
             row = by_label[label].get(method)
-            if row is None or row.timed_out:
-                cells += ["-", "-"]
+            if row is None:
+                cells += ["-", "-", "-", "-"]
             else:
-                cells += [f"{row.seconds:.2f}", str(row.max_nodes)]
+                cells += list(row.metric_cells())
         table.append(cells)
     return format_table(headers, table)
 
@@ -133,8 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="restrict to a family (repeatable)")
     args = parser.parse_args(argv)
     rows = table1_rows(args.scale, args.family)
-    print("Table I (reproduction) — image computation: "
-          "time [s] and max TDD nodes")
+    print("Table I (reproduction) — image computation: time [s], max TDD "
+          "nodes, cache hit rate, post-GC/peak live nodes")
     print(format_rows(rows))
     return 0
 

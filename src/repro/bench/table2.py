@@ -19,19 +19,30 @@ from repro.systems import models
 from repro.utils.tables import format_table
 
 
-def sweep(num_qubits: int = 8, kmax: int = 8,
-          iterations: int = 2) -> List[List[float]]:
-    """``result[k1-1][k2-1]`` = seconds for contraction(k1, k2)."""
-    grid: List[List[float]] = []
+def sweep_stats(num_qubits: int = 8, kmax: int = 8,
+                iterations: int = 2) -> List[List[dict]]:
+    """``result[k1-1][k2-1]`` = stats dict for contraction(k1, k2).
+
+    Each cell is :meth:`StatsRecorder.as_dict` output — seconds plus
+    the cache hit rate and peak/post-GC live node counts.
+    """
+    grid: List[List[dict]] = []
     for k1 in range(1, kmax + 1):
-        row: List[float] = []
+        row: List[dict] = []
         for k2 in range(1, kmax + 1):
             qts = models.grover_qts(num_qubits, iterations=iterations)
             result = compute_image(qts, method="contraction",
                                    k1=k1, k2=k2)
-            row.append(result.stats.seconds)
+            row.append(result.stats.as_dict())
         grid.append(row)
     return grid
+
+
+def sweep(num_qubits: int = 8, kmax: int = 8,
+          iterations: int = 2) -> List[List[float]]:
+    """``result[k1-1][k2-1]`` = seconds for contraction(k1, k2)."""
+    return [[cell["seconds"] for cell in row]
+            for row in sweep_stats(num_qubits, kmax, iterations)]
 
 
 def format_grid(grid: List[List[float]]) -> str:
@@ -42,16 +53,32 @@ def format_grid(grid: List[List[float]]) -> str:
     return format_table(headers, rows)
 
 
+def format_stats_grid(grid: List[List[dict]]) -> str:
+    """Cells as ``seconds (hit%, post-GC/peak live nodes)``."""
+    kmax = len(grid)
+    headers = ["k1\\k2"] + [str(k2) for k2 in range(1, kmax + 1)]
+    rows = []
+    for k1, row in enumerate(grid):
+        cells = [str(k1 + 1)]
+        for cell in row:
+            cells.append(f"{cell['seconds']:.2f} "
+                         f"({100 * cell['cache_hit_rate']:.0f}%, "
+                         f"{cell['live_nodes']}/{cell['peak_live_nodes']})")
+        rows.append(cells)
+    return format_table(headers, rows)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--qubits", type=int, default=8)
     parser.add_argument("--kmax", type=int, default=8)
     parser.add_argument("--iterations", type=int, default=2)
     args = parser.parse_args(argv)
-    grid = sweep(args.qubits, args.kmax, args.iterations)
-    print(f"Table II (reproduction) — contraction partition times [s], "
+    grid = sweep_stats(args.qubits, args.kmax, args.iterations)
+    print(f"Table II (reproduction) — contraction partition: time [s] "
+          f"(cache hit rate, post-GC/peak live nodes), "
           f"Grover {args.qubits} x{args.iterations} iterations")
-    print(format_grid(grid))
+    print(format_stats_grid(grid))
     return 0
 
 

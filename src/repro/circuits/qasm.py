@@ -57,8 +57,13 @@ _EMIT_NAMES = {"p": "u1", "cp": "cu1"}
 
 
 def _eval_angle(text: str) -> float:
-    """Evaluate a QASM angle expression (pi arithmetic only)."""
-    allowed = re.compile(r"^[\d\s\.\+\-\*/\(\)piPI]*$")
+    """Evaluate a QASM angle expression (pi arithmetic only).
+
+    Accepts scientific notation (``1.2e-15``) — :func:`to_qasm` emits
+    ``repr(float)``, which uses it for very small angles, and the
+    parser must round-trip its own output.
+    """
+    allowed = re.compile(r"^[\d\s\.\+\-\*/\(\)piPIeE]*$")
     if not allowed.match(text):
         raise CircuitError(f"unsupported angle expression {text!r}")
     try:

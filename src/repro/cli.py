@@ -5,12 +5,20 @@ Subcommands:
 * ``image``  — one-step image computation on a built-in model,
 * ``reach``  — reachability fixpoint,
 * ``invariant`` — check ``T(S0) <= S0`` (``--strict`` for equality),
-* ``table1`` / ``table2`` — forward to the benchmark harnesses.
+* ``crosscheck`` — compare the tdd and dense backends on one image,
+* ``table1`` / ``table2`` / ``smoke`` — forward to the benchmark
+  harnesses.
+
+``image`` and ``reach`` accept ``--backend {tdd,dense}`` (the dense
+statevector reference is exponential — small sizes only) and report the
+kernel instrumentation: cache hit rate and post-GC/peak live nodes.
 
 Examples::
 
     python -m repro image grover --size 4 --method contraction
     python -m repro reach qrw --size 4 --frontier
+    python -m repro image ghz --size 3 --backend dense
+    python -m repro crosscheck grover --size 4
     python -m repro invariant grover --size 4 --initial invariant
     python -m repro table1 --scale small
 """
@@ -21,9 +29,8 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
-from repro.image.engine import compute_image
-from repro.mc.invariants import is_invariant
-from repro.mc.reachability import reachable_space
+from repro.mc.backends import BACKENDS, cross_validate, make_backend
+from repro.mc.invariants import invariant_holds
 from repro.systems import models
 
 #: model name -> builder(size, args)
@@ -65,6 +72,14 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
                         help="qpe phase to estimate")
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    # not part of _add_model_arguments: crosscheck always runs both
+    # engines, so only commands that honour the flag accept it
+    parser.add_argument("--backend", default="tdd", choices=list(BACKENDS),
+                        help="computation engine (dense = exponential "
+                             "statevector reference, small sizes only)")
+
+
 def _method_params(args) -> dict:
     if args.method == "addition":
         return {"k": args.k}
@@ -79,34 +94,77 @@ def _build(args):
     return _MODELS[args.model](args.size, args)
 
 
+def _make_backend(args):
+    # make_backend drops tdd-only method params for non-tdd backends
+    return make_backend(args.backend, method=args.method,
+                        **_method_params(args))
+
+
+def _print_kernel_stats(stats) -> None:
+    if stats.extra.get("backend") == "dense":
+        return  # no symbolic kernel involved
+    lookups = stats.cache_hits + stats.cache_misses
+    print(f"cache      = {stats.cache_hits}/{lookups} hits "
+          f"({100 * stats.cache_hit_rate:.0f}%)")
+    print(f"live nodes = {stats.live_nodes} after GC "
+          f"(peak {stats.peak_live_nodes}, "
+          f"reclaimed {stats.nodes_reclaimed})")
+
+
+def _engine_label(args, frontier: bool = False) -> str:
+    # the dense reference ignores method/frontier — don't print them as
+    # if they took effect
+    if args.backend != "tdd":
+        return f"backend={args.backend}"
+    label = f"method={args.method} backend=tdd"
+    if frontier:
+        label += f" frontier={args.frontier}"
+    return label
+
+
 def _cmd_image(args) -> int:
-    result = compute_image(_build(args), method=args.method,
-                           **_method_params(args))
-    print(f"model={args.model}{args.size} method={args.method}")
+    result = _make_backend(args).compute_image(_build(args))
+    print(f"model={args.model}{args.size} {_engine_label(args)}")
     print(f"dim(T(S0)) = {result.dimension}")
     print(f"time       = {result.stats.seconds:.3f} s")
     print(f"max #node  = {result.stats.max_nodes}")
+    _print_kernel_stats(result.stats)
     return 0
 
 
 def _cmd_reach(args) -> int:
-    trace = reachable_space(_build(args), method=args.method,
-                            frontier=args.frontier, **_method_params(args))
-    print(f"model={args.model}{args.size} method={args.method} "
-          f"frontier={args.frontier}")
+    trace = _make_backend(args).reachable(_build(args),
+                                          frontier=args.frontier)
+    print(f"model={args.model}{args.size} "
+          f"{_engine_label(args, frontier=True)}")
     print(f"dimensions = {trace.dimensions}")
     print(f"converged  = {trace.converged} "
           f"({trace.iterations} iterations)")
     print(f"time       = {trace.stats.seconds:.3f} s")
     print(f"max #node  = {trace.stats.max_nodes}")
+    _print_kernel_stats(trace.stats)
     return 0
 
 
+def _cmd_crosscheck(args) -> int:
+    report = cross_validate(_build(args), method=args.method,
+                            **_method_params(args))
+    print(f"model={args.model}{args.size} method={args.method}")
+    print(f"tdd   dim = {report.tdd_dimension} "
+          f"({report.tdd_seconds:.3f} s)")
+    print(f"dense dim = {report.dense_dimension} "
+          f"({report.dense_seconds:.3f} s)")
+    print(f"agree     = {report.agree}")
+    return 0 if report.agree else 1
+
+
 def _cmd_invariant(args) -> int:
-    holds = is_invariant(_build(args), method=args.method,
-                         strict=args.strict, **_method_params(args))
+    qts = _build(args)
+    image = _make_backend(args).compute_image(qts).subspace
+    holds = invariant_holds(image, qts.initial, args.strict)
     relation = "=" if args.strict else "<="
-    print(f"T(S0) {relation} S0 for {args.model}{args.size}: {holds}")
+    print(f"T(S0) {relation} S0 for {args.model}{args.size} "
+          f"({_engine_label(args)}): {holds}")
     return 0 if holds else 1
 
 
@@ -118,17 +176,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     image = sub.add_parser("image", help="one-step image computation")
     _add_model_arguments(image)
+    _add_backend_argument(image)
     image.set_defaults(func=_cmd_image)
 
     reach = sub.add_parser("reach", help="reachability fixpoint")
     _add_model_arguments(reach)
+    _add_backend_argument(reach)
     reach.add_argument("--frontier", action="store_true")
     reach.set_defaults(func=_cmd_reach)
 
     invariant = sub.add_parser("invariant", help="check T(S0) <= S0")
     _add_model_arguments(invariant)
+    _add_backend_argument(invariant)
     invariant.add_argument("--strict", action="store_true")
     invariant.set_defaults(func=_cmd_invariant)
+
+    crosscheck = sub.add_parser(
+        "crosscheck", help="compare tdd and dense backends on one image")
+    _add_model_arguments(crosscheck)
+    crosscheck.set_defaults(func=_cmd_crosscheck)
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
     table1.add_argument("--scale", default="small",
@@ -143,6 +209,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     table2.set_defaults(func=lambda args: __import__(
         "repro.bench.table2", fromlist=["main"]).main(
             ["--qubits", str(args.qubits), "--kmax", str(args.kmax)]))
+
+    smoke = sub.add_parser("smoke", help="run the <60s smoke benchmark")
+    smoke.add_argument("--model", default="grover")
+    smoke.add_argument("--size", type=int, default=6)
+    smoke.set_defaults(func=lambda args: __import__(
+        "repro.bench.smoke", fromlist=["main"]).main(
+            ["--model", args.model, "--size", str(args.size)]))
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -42,11 +42,23 @@ def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
 
 def compute_image(qts: QuantumTransitionSystem,
                   subspace: Optional[Subspace] = None,
-                  method: str = "basic", **params) -> ImageResult:
-    """Compute ``T(S)`` and record wall time + peak TDD node count."""
+                  method: str = "basic", gc: bool = True,
+                  **params) -> ImageResult:
+    """Compute ``T(S)`` and record the full kernel cost profile.
+
+    The returned :class:`ImageResult` stats carry wall time, peak TDD
+    node count, operation-cache hit/miss counts for this run, and —
+    after the post-run garbage collection (skipped with ``gc=False``) —
+    the peak and surviving live-node populations of the manager.
+    """
     computer = make_computer(qts, method, **params)
     stats = StatsRecorder()
+    manager = qts.manager
+    baseline = manager.cache_counters()
     watch = Stopwatch().start()
     result = computer.image(subspace, stats)
     stats.seconds = watch.stop()
+    if gc:
+        manager.collect()
+    stats.record_manager(manager, baseline)
     return result

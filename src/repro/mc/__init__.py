@@ -7,6 +7,9 @@ the paper's Section III case studies exercise.
 
 from repro.mc.reachability import reachable_space, ReachabilityTrace
 from repro.mc.invariants import (is_invariant, image_equals, image_contained_in)
+from repro.mc.backends import (Backend, BACKENDS, CrossValidation,
+                               DenseStatevectorBackend, TDDBackend,
+                               cross_validate, make_backend)
 from repro.mc.checker import ModelChecker
 from repro.mc.logic import (Atomic, Join, Meet, Not, Proposition,
                             check_always, check_eventually_overlaps,
@@ -15,6 +18,9 @@ from repro.mc.logic import (Atomic, Join, Meet, Not, Proposition,
 __all__ = [
     "reachable_space", "ReachabilityTrace",
     "is_invariant", "image_equals", "image_contained_in",
+    "Backend", "BACKENDS", "CrossValidation",
+    "DenseStatevectorBackend", "TDDBackend",
+    "cross_validate", "make_backend",
     "ModelChecker",
     "Atomic", "Join", "Meet", "Not", "Proposition",
     "check_always", "check_eventually_overlaps", "satisfies",

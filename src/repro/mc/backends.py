@@ -1,0 +1,243 @@
+"""Pluggable computation backends for model checking.
+
+The :class:`~repro.mc.checker.ModelChecker` (and the CLI) can run every
+check on one of two interchangeable engines:
+
+* ``tdd`` — the symbolic TDD kernel (the paper's algorithms; scales
+  with diagram size, not Hilbert-space dimension), or
+* ``dense`` — the :mod:`repro.sim` statevector reference (explicitly
+  exponential; Kraus matrices applied to dense basis vectors, subspaces
+  closed by SVD).
+
+Both return the same result types (``ImageResult`` /
+``ReachabilityTrace`` over TDD-backed subspaces), so results
+cross-validate structurally: :func:`cross_validate` runs an image on
+both backends and compares dimension and projector equality.  This is
+the production-style guard rail for the symbolic engine — any
+divergence on a small instance pinpoints a kernel bug before it ships
+at a scale where the dense oracle can no longer follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.errors import ReproError
+from repro.image.base import ImageResult
+from repro.image.engine import METHODS, compute_image
+from repro.mc.reachability import ReachabilityTrace, reachable_space
+from repro.subspace.subspace import Subspace
+from repro.systems.qts import QuantumTransitionSystem
+from repro.utils.stats import StatsRecorder
+from repro.utils.timing import Stopwatch
+
+BACKENDS = ("tdd", "dense")
+
+#: dense simulation is exponential; refuse silly sizes loudly
+DENSE_MAX_QUBITS = 14
+
+
+class Backend(Protocol):
+    """One engine that can compute images and reachable spaces."""
+
+    name: str
+
+    def compute_image(self, qts: QuantumTransitionSystem,
+                      subspace: Optional[Subspace] = None) -> ImageResult:
+        """``T(S)`` with run statistics."""
+        ...
+
+    def reachable(self, qts: QuantumTransitionSystem,
+                  initial: Optional[Subspace] = None,
+                  max_iterations: int = 0,
+                  frontier: bool = False) -> ReachabilityTrace:
+        """The reachability fixpoint from ``initial`` (default ``S0``)."""
+        ...
+
+
+class TDDBackend:
+    """The symbolic backend: delegates to the image/mc engine."""
+
+    name = "tdd"
+
+    def __init__(self, method: str = "contraction", **params) -> None:
+        if method not in METHODS:
+            raise ReproError(f"unknown image method {method!r}; "
+                             f"choose from {METHODS}")
+        self.method = method
+        self.params = dict(params)
+
+    def compute_image(self, qts: QuantumTransitionSystem,
+                      subspace: Optional[Subspace] = None) -> ImageResult:
+        return compute_image(qts, subspace, self.method, **self.params)
+
+    def reachable(self, qts: QuantumTransitionSystem,
+                  initial: Optional[Subspace] = None,
+                  max_iterations: int = 0,
+                  frontier: bool = False) -> ReachabilityTrace:
+        return reachable_space(qts, self.method, initial=initial,
+                               max_iterations=max_iterations,
+                               frontier=frontier, **self.params)
+
+    def __repr__(self) -> str:
+        return f"TDDBackend(method={self.method!r})"
+
+
+class DenseStatevectorBackend:
+    """The dense reference backend (exponential; small instances only).
+
+    Images are computed with explicit Kraus matrices on dense basis
+    vectors (:class:`~repro.sim.subspace_dense.DenseSubspace`); the
+    resulting orthonormal basis is lifted back into TDD states so the
+    result type matches the symbolic backend exactly.
+    """
+
+    name = "dense"
+
+    def __init__(self, max_qubits: int = DENSE_MAX_QUBITS) -> None:
+        self.max_qubits = max_qubits
+
+    # ------------------------------------------------------------------
+    def _check_size(self, qts: QuantumTransitionSystem) -> None:
+        if qts.num_qubits > self.max_qubits:
+            raise ReproError(
+                f"dense backend refuses {qts.num_qubits} qubits "
+                f"(> {self.max_qubits}); it is exponential — use the "
+                f"tdd backend, or raise max_qubits explicitly")
+
+    @staticmethod
+    def _kraus_matrices(qts: QuantumTransitionSystem) -> list:
+        return [matrix for op in qts.operations
+                for matrix in op.kraus_matrices()]
+
+    @staticmethod
+    def _to_dense(subspace: Subspace):
+        from repro.sim.subspace_dense import DenseSubspace
+        dim = 2 ** subspace.space.num_qubits
+        vectors = [v.to_numpy().reshape(-1) for v in subspace.basis]
+        return DenseSubspace.from_vectors(vectors, dim)
+
+    @staticmethod
+    def _to_subspace(qts: QuantumTransitionSystem, dense) -> Subspace:
+        states = [qts.space.from_amplitudes(dense.basis[:, column])
+                  for column in range(dense.dimension)]
+        return qts.space.span(states)
+
+    # ------------------------------------------------------------------
+    def compute_image(self, qts: QuantumTransitionSystem,
+                      subspace: Optional[Subspace] = None) -> ImageResult:
+        self._check_size(qts)
+        if subspace is None:
+            subspace = qts.initial
+        stats = StatsRecorder()
+        stats.extra["backend"] = self.name
+        watch = Stopwatch().start()
+        dense = self._to_dense(subspace).image(self._kraus_matrices(qts))
+        result = self._to_subspace(qts, dense)
+        stats.seconds = watch.stop()
+        stats.observe_nodes(result.projector.size())
+        return ImageResult(result, stats)
+
+    def reachable(self, qts: QuantumTransitionSystem,
+                  initial: Optional[Subspace] = None,
+                  max_iterations: int = 0,
+                  frontier: bool = False) -> ReachabilityTrace:
+        # frontier iteration is a symbolic-cost optimisation; the dense
+        # fixpoint is cheap enough to always use the full space.
+        del frontier
+        self._check_size(qts)
+        current = initial if initial is not None else qts.initial
+        if current.dimension == 0:
+            raise ReproError("reachability from the zero subspace is "
+                             "trivial; set an initial space first")
+        kraus = self._kraus_matrices(qts)
+        dense = self._to_dense(current)
+        trace = ReachabilityTrace(subspace=current,
+                                  dimensions=[dense.dimension])
+        trace.stats.extra["backend"] = self.name
+        limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
+        watch = Stopwatch().start()
+        for _ in range(limit):
+            grown = dense.join(dense.image(kraus))
+            trace.iterations += 1
+            trace.dimensions.append(grown.dimension)
+            converged = grown.dimension == dense.dimension
+            dense = grown
+            if converged:
+                break
+        else:
+            trace.converged = False
+        trace.subspace = self._to_subspace(qts, dense)
+        trace.stats.observe_nodes(trace.subspace.projector.size())
+        trace.stats.seconds = watch.stop()
+        return trace
+
+    def __repr__(self) -> str:
+        return f"DenseStatevectorBackend(max_qubits={self.max_qubits})"
+
+
+#: parameters that only concern one backend; each backend tolerates the
+#: other's so swapping ``backend=`` is a drop-in change
+_TDD_ONLY_PARAMS = frozenset({"k", "k1", "k2", "order_policy"})
+_DENSE_ONLY_PARAMS = frozenset({"max_qubits"})
+
+
+def make_backend(name: str = "tdd", method: str = "contraction",
+                 **params) -> Backend:
+    """Instantiate a backend by name (``method``/``params`` feed tdd)."""
+    if name == "tdd":
+        tdd_params = {key: value for key, value in params.items()
+                      if key not in _DENSE_ONLY_PARAMS}
+        return TDDBackend(method=method, **tdd_params)
+    if name == "dense":
+        dense_params = {key: value for key, value in params.items()
+                        if key not in _TDD_ONLY_PARAMS}
+        return DenseStatevectorBackend(**dense_params)
+    raise ReproError(f"unknown backend {name!r}; choose from {BACKENDS}")
+
+
+# ----------------------------------------------------------------------
+# cross-validation
+# ----------------------------------------------------------------------
+@dataclass
+class CrossValidation:
+    """Outcome of comparing the same image on two backends."""
+
+    tdd_dimension: int
+    dense_dimension: int
+    agree: bool
+    tdd_seconds: float
+    dense_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.agree
+
+    def __repr__(self) -> str:
+        status = "agree" if self.agree else "DISAGREE"
+        return (f"CrossValidation({status}: tdd dim={self.tdd_dimension}, "
+                f"dense dim={self.dense_dimension})")
+
+
+def cross_validate(qts: QuantumTransitionSystem,
+                   subspace: Optional[Subspace] = None,
+                   method: str = "contraction",
+                   tol: float = 1e-7, **params) -> CrossValidation:
+    """Run ``T(S)`` on both backends and compare the resulting subspaces.
+
+    Agreement means equal dimension *and* mutual containment of the two
+    subspaces (projector equality up to ``tol``).  ``params`` may mix
+    method parameters and dense options — each backend takes its own.
+    """
+    symbolic = make_backend("tdd", method=method,
+                            **params).compute_image(qts, subspace)
+    dense = make_backend("dense", **params).compute_image(qts, subspace)
+    agree = (symbolic.subspace.dimension == dense.subspace.dimension
+             and symbolic.subspace.equals(dense.subspace, tol))
+    return CrossValidation(
+        tdd_dimension=symbolic.subspace.dimension,
+        dense_dimension=dense.subspace.dimension,
+        agree=agree,
+        tdd_seconds=symbolic.stats.seconds,
+        dense_seconds=dense.stats.seconds)

@@ -1,8 +1,11 @@
 """The :class:`ModelChecker` facade.
 
-Bundles a QTS with a chosen image computation method and exposes the
-checks a user actually runs: one-step images, reachability, invariance
-and safety.  This is the top of the public API — see
+Bundles a QTS with a chosen computation backend (symbolic TDD engine or
+the dense statevector reference, see :mod:`repro.mc.backends`) and
+exposes the checks a user actually runs: one-step images, reachability,
+invariance and safety — plus :meth:`cross_validate`, which replays an
+image on the dense backend to corroborate the symbolic result on small
+instances.  This is the top of the public API — see
 ``examples/quickstart.py``.
 """
 
@@ -11,10 +14,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.image.base import ImageResult
-from repro.image.engine import compute_image
-from repro.mc.invariants import (image_contained_in, image_equals,
-                                 is_invariant)
-from repro.mc.reachability import ReachabilityTrace, reachable_space
+from repro.mc.backends import CrossValidation, cross_validate, make_backend
+from repro.mc.invariants import invariant_holds
+from repro.mc.reachability import ReachabilityTrace
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
 
@@ -23,32 +25,47 @@ class ModelChecker:
     """Model checking driver for one quantum transition system."""
 
     def __init__(self, qts: QuantumTransitionSystem,
-                 method: str = "contraction", **params) -> None:
+                 method: str = "contraction",
+                 backend: str = "tdd", **params) -> None:
         self.qts = qts
         self.method = method
         self.params = dict(params)
+        self.backend = make_backend(backend, method=method, **params)
 
     # ------------------------------------------------------------------
     def image(self, subspace: Optional[Subspace] = None) -> ImageResult:
         """One-step image ``T(S)`` with run statistics."""
-        return compute_image(self.qts, subspace, self.method, **self.params)
+        return self.backend.compute_image(self.qts, subspace)
 
-    def reachable(self, max_iterations: int = 0) -> ReachabilityTrace:
+    def reachable(self, max_iterations: int = 0,
+                  frontier: bool = False) -> ReachabilityTrace:
         """The reachable subspace from the initial space."""
-        return reachable_space(self.qts, self.method,
-                               max_iterations=max_iterations, **self.params)
+        return self.backend.reachable(self.qts,
+                                      max_iterations=max_iterations,
+                                      frontier=frontier)
+
+    def cross_validate(self, subspace: Optional[Subspace] = None,
+                       tol: float = 1e-7) -> CrossValidation:
+        """Compare this checker's image against the dense reference."""
+        return cross_validate(self.qts, subspace, method=self.method,
+                              tol=tol, **self.params)
 
     # ------------------------------------------------------------------
+    # Subspace-level checks run on the image of whichever backend is
+    # configured — both backends return the same TDD-backed types, so
+    # one code path serves all of them.
     def check_invariant(self, subspace: Optional[Subspace] = None,
                         strict: bool = False) -> bool:
         """Does the system stay inside ``S`` (``T(S) <= S``)?"""
-        return is_invariant(self.qts, subspace, self.method, strict,
-                            **self.params)
+        if subspace is None:
+            subspace = self.qts.initial
+        image = self.backend.compute_image(self.qts, subspace).subspace
+        return invariant_holds(image, subspace, strict)
 
     def check_image_equals(self, expected: Subspace,
                            subspace: Optional[Subspace] = None) -> bool:
-        return image_equals(self.qts, expected, subspace, self.method,
-                            **self.params)
+        image = self.backend.compute_image(self.qts, subspace).subspace
+        return image.equals(expected)
 
     def check_safety(self, bound: Subspace,
                      max_iterations: int = 0) -> bool:
@@ -57,4 +74,5 @@ class ModelChecker:
         return bound.contains(trace.subspace)
 
     def __repr__(self) -> str:
-        return f"ModelChecker({self.qts.name!r}, method={self.method!r})"
+        return (f"ModelChecker({self.qts.name!r}, method={self.method!r}, "
+                f"backend={self.backend.name!r})")

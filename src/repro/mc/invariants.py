@@ -21,6 +21,19 @@ def image_of(qts: QuantumTransitionSystem,
     return compute_image(qts, subspace, method, **params).subspace
 
 
+def invariant_holds(image: Subspace, subspace: Subspace,
+                    strict: bool = False) -> bool:
+    """The invariance comparison on an already-computed image.
+
+    Shared by the method-level entry points here and the backend-aware
+    :class:`~repro.mc.checker.ModelChecker`, so the semantics cannot
+    drift between the two.
+    """
+    if strict:
+        return image.equals(subspace)
+    return subspace.contains(image)
+
+
 def is_invariant(qts: QuantumTransitionSystem,
                  subspace: Optional[Subspace] = None,
                  method: str = "basic", strict: bool = False,
@@ -29,9 +42,7 @@ def is_invariant(qts: QuantumTransitionSystem,
     if subspace is None:
         subspace = qts.initial
     image = image_of(qts, subspace, method, **params)
-    if strict:
-        return image.equals(subspace)
-    return subspace.contains(image)
+    return invariant_holds(image, subspace, strict)
 
 
 def image_equals(qts: QuantumTransitionSystem, expected: Subspace,

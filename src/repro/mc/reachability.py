@@ -41,6 +41,7 @@ def reachable_space(qts: QuantumTransitionSystem,
                     initial: Optional[Subspace] = None,
                     max_iterations: int = 0,
                     frontier: bool = False,
+                    gc: bool = True,
                     **params) -> ReachabilityTrace:
     """Compute the reachable subspace of ``qts``.
 
@@ -55,6 +56,14 @@ def reachable_space(qts: QuantumTransitionSystem,
     of the whole accumulated subspace.  Correct because the image
     operator distributes over joins (Proposition 1), and cheaper when
     the reachable space grows slowly relative to its size.
+
+    ``gc=True`` (the default) runs the manager's mark-and-sweep between
+    iterations: the accumulated subspace, the frontier and the
+    computer's cached operator TDDs stay pinned (they are live
+    handles), while the intermediate diagrams of the finished round are
+    reclaimed — this is what keeps the live-node population flat over
+    long fixpoints.  The trace stats report the cache hit/miss deltas
+    and GC activity of the whole run.
     """
     computer = make_computer(qts, method, **params)
     current = initial if initial is not None else qts.initial
@@ -63,6 +72,8 @@ def reachable_space(qts: QuantumTransitionSystem,
                          "set an initial space first")
     trace = ReachabilityTrace(subspace=current, dimensions=[current.dimension])
     limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
+    manager = qts.manager
+    baseline = manager.cache_counters()
     watch = Stopwatch().start()
     frontier_space = current
     for _ in range(limit):
@@ -82,7 +93,12 @@ def reachable_space(qts: QuantumTransitionSystem,
             frontier_space = qts.space.span(new_vectors)
         current = grown
         trace.subspace = grown
+        if gc:
+            manager.collect()
     else:
         trace.converged = False
     trace.stats.seconds = watch.stop()
+    if gc:
+        manager.collect()
+    trace.stats.record_manager(manager, baseline)
     return trace

@@ -95,24 +95,34 @@ def density(tdd: TDD) -> float:
     position = {lv: p for p, lv in enumerate(levels)}
     total_rank = len(levels)
 
+    # cache[id(node)] = non-zero paths of the subtree, counted from the
+    # position just below the node's own level (independent of how the
+    # node was reached); entry points scale by 2^(skipped levels).
     cache: Dict[int, int] = {}
 
-    def count(node: Node, from_position: int) -> int:
-        """Non-zero entries of the subtensor rooted at ``node`` over
-        the free indices at positions >= from_position."""
+    def scaled(node: Node, from_position: int) -> int:
         if node.is_terminal:
             return 2 ** (total_rank - from_position)
-        node_position = position[node.level]
-        skip = 2 ** (node_position - from_position)
-        if id(node) not in cache:
-            subtotal = 0
+        return 2 ** (position[node.level] - from_position) * cache[id(node)]
+
+    enter, exit_ = 0, 1
+    stack = [(enter, tdd.root.node)]
+    while stack:
+        tag, node = stack.pop()
+        if node.is_terminal or id(node) in cache:
+            continue
+        if tag == enter:
+            stack.append((exit_, node))
             for edge in (node.low, node.high):
                 if not edge.is_zero:
-                    subtotal += count(edge.node, node_position + 1)
-            cache[id(node)] = subtotal
-        return skip * cache[id(node)]
+                    stack.append((enter, edge.node))
+        else:
+            node_position = position[node.level]
+            cache[id(node)] = sum(
+                scaled(edge.node, node_position + 1)
+                for edge in (node.low, node.high) if not edge.is_zero)
 
-    nonzero = count(tdd.root.node, 0)
+    nonzero = scaled(tdd.root.node, 0)
     return nonzero / 2 ** total_rank
 
 

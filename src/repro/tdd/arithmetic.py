@@ -2,57 +2,25 @@
 
 All functions operate on raw :class:`~repro.tdd.node.Edge` values inside
 one manager; the index-set bookkeeping lives on the :class:`TDD`
-wrapper.  Addition is memoised in the manager's ``_add_cache`` with a
-symmetric key, exploiting commutativity.
+wrapper.  The heavy lifting happens in :mod:`repro.tdd.apply` — an
+explicit-work-stack engine, so none of these functions consume Python
+stack proportional to the diagram depth.  Addition is memoised in the
+manager's ``add_cache`` with a symmetric key, exploiting commutativity.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
-from repro.tdd import weights as wt
+from repro.tdd.apply import add_apply, slice_pair, unary_apply
 from repro.tdd.manager import TDDManager
-from repro.tdd.node import Edge, Node
+from repro.tdd.node import Edge
 
-
-def slice_pair(manager: TDDManager, edge: Edge, level: int) -> Tuple[Edge, Edge]:
-    """The (x=0, x=1) cofactors of ``edge`` w.r.t. the index at ``level``.
-
-    Assumes ``level <= edge.node.level``: either the edge branches on
-    exactly this level, or it does not depend on it at all.
-    """
-    node = edge.node
-    if node.level != level:
-        return edge, edge
-    low = manager.make_edge(edge.weight * node.low.weight, node.low.node)
-    high = manager.make_edge(edge.weight * node.high.weight, node.high.node)
-    return low, high
+__all__ = ["add_edges", "scale_edge", "negate_edge", "conjugate_edge",
+           "slice_pair"]
 
 
 def add_edges(manager: TDDManager, a: Edge, b: Edge) -> Edge:
     """Pointwise sum of two edges over the union of their index supports."""
-    if a.is_zero:
-        return manager.make_edge(b.weight, b.node)
-    if b.is_zero:
-        return manager.make_edge(a.weight, a.node)
-    if a.node is b.node:
-        return manager.make_edge(a.weight + b.weight, a.node)
-    # Raw-float keys: rounding here could alias two different weights
-    # onto one cache entry and silently return a wrong sum.
-    ka = (a.weight.real, a.weight.imag, id(a.node))
-    kb = (b.weight.real, b.weight.imag, id(b.node))
-    key = ("add", ka, kb) if ka <= kb else ("add", kb, ka)
-    cached = manager._add_cache.get(key)
-    if cached is not None:
-        return cached
-    level = min(a.node.level, b.node.level)
-    a0, a1 = slice_pair(manager, a, level)
-    b0, b1 = slice_pair(manager, b, level)
-    result = manager.make_node(level,
-                               add_edges(manager, a0, b0),
-                               add_edges(manager, a1, b1))
-    manager._add_cache[key] = result
-    return result
+    return add_apply(manager, a, b)
 
 
 def scale_edge(manager: TDDManager, edge: Edge, factor: complex) -> Edge:
@@ -66,25 +34,8 @@ def negate_edge(manager: TDDManager, edge: Edge) -> Edge:
 
 def conjugate_edge(manager: TDDManager, edge: Edge) -> Edge:
     """Entry-wise complex conjugate of the tensor of ``edge``."""
-    memo: Dict[int, Edge] = {}
-
-    def conj_node(node: Node) -> Edge:
-        if node.is_terminal:
-            return Edge(1 + 0j, node)
-        cached = memo.get(id(node))
-        if cached is not None:
-            return cached
-        low = _conj_edge(node.low)
-        high = _conj_edge(node.high)
-        result = manager.make_node(node.level, low, high)
-        memo[id(node)] = result
-        return result
-
-    def _conj_edge(e: Edge) -> Edge:
-        if e.is_zero:
-            return manager.zero_edge()
-        inner = conj_node(e.node)
-        return manager.make_edge(e.weight.conjugate() * inner.weight,
-                                 inner.node)
-
-    return _conj_edge(edge)
+    return unary_apply(
+        manager, edge,
+        rebuild=lambda node, low, high: manager.make_node(node.level,
+                                                          low, high),
+        weight_map=lambda w: w.conjugate())

@@ -10,60 +10,23 @@ indices shared by three or more tensors need).  A summed index that
 neither operand depends on contributes a factor 2 per the definition of
 summation over {0, 1}.
 
-The recursion processes levels in the global order; weights are
-factored out so the memo key is ``(node, node, remaining-sum-levels)``,
-which gives high hit rates across repeated image computations.
+The work-stack engine in :mod:`repro.tdd.apply` processes levels in the
+global order; weights are factored out so the memo key is
+``(node, node, remaining-sum-levels)``, which gives high hit rates
+across repeated image computations.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
-from repro.tdd.arithmetic import add_edges, slice_pair
+from repro.tdd.apply import contract_apply
 from repro.tdd.manager import TDDManager
-from repro.tdd.node import Edge, TERMINAL_LEVEL
+from repro.tdd.node import Edge
 
 
 def contract_edges(manager: TDDManager, a: Edge, b: Edge,
                    sum_levels: Tuple[int, ...]) -> Edge:
     """Contract two edges over the (sorted) levels in ``sum_levels``."""
     sum_levels = tuple(sorted(sum_levels))
-    return _cont(manager, a, b, sum_levels)
-
-
-def _cont(manager: TDDManager, a: Edge, b: Edge,
-          levels: Tuple[int, ...]) -> Edge:
-    if a.is_zero or b.is_zero:
-        return manager.zero_edge()
-    weight = a.weight * b.weight
-    na, nb = a.node, b.node
-    if na.is_terminal and nb.is_terminal:
-        return manager.scalar_edge(weight * (2 ** len(levels)))
-    ka, kb = id(na), id(nb)
-    key = ("cont", ka, kb, levels) if ka <= kb else ("cont", kb, ka, levels)
-    cached = manager._cont_cache.get(key)
-    if cached is not None:
-        return manager.make_edge(cached.weight * weight, cached.node)
-
-    unit_a = Edge(1 + 0j, na)
-    unit_b = Edge(1 + 0j, nb)
-    top = min(na.level, nb.level)
-    if levels and levels[0] < top:
-        # Neither operand depends on this summed index: factor 2.
-        inner = _cont(manager, unit_a, unit_b, levels[1:])
-        result = manager.make_edge(2 * inner.weight, inner.node)
-    elif levels and levels[0] == top:
-        remaining = levels[1:]
-        a0, a1 = slice_pair(manager, unit_a, top)
-        b0, b1 = slice_pair(manager, unit_b, top)
-        result = add_edges(manager,
-                           _cont(manager, a0, b0, remaining),
-                           _cont(manager, a1, b1, remaining))
-    else:
-        a0, a1 = slice_pair(manager, unit_a, top)
-        b0, b1 = slice_pair(manager, unit_b, top)
-        result = manager.make_node(top,
-                                   _cont(manager, a0, b0, levels),
-                                   _cont(manager, a1, b1, levels))
-    manager._cont_cache[key] = result
-    return manager.make_edge(result.weight * weight, result.node)
+    return contract_apply(manager, a, b, sum_levels)

@@ -41,27 +41,42 @@ def to_dot(tdd: TDD, name: str = "tdd") -> str:
 
     emitted = set()
 
-    def emit(node: Node) -> None:
-        key = id(node)
-        if key in emitted:
-            return
-        emitted.add(key)
-        nid = node_id(node)
-        if node.is_terminal:
-            lines.append(f'  {nid} [shape=box, label="1"];')
-            return
-        label = manager.order.index_at(node.level).name
-        lines.append(f'  {nid} [shape=oval, label="{label}"];')
-        for bit, edge, style, colour in ((0, node.low, "solid", "blue"),
-                                         (1, node.high, "dashed", "red")):
-            if edge.is_zero:
+    def emit(start: Node) -> None:
+        # Explicit action stack reproducing the recursive emission
+        # order (child subtree fully emitted before the edge line into
+        # it), so node numbering is unchanged and depth is heap-bound.
+        # An "edge" action formats at pop time — the child's "visit"
+        # was pushed above it, so its id is assigned by then.
+        stack = [("visit", start)]
+        while stack:
+            action, payload = stack.pop()
+            if action == "edge":
+                nid, edge, style, colour = payload
+                attrs = [f"style={style}", f"color={colour}"]
+                if edge.weight != 1:
+                    attrs.append(f'label="{_format_weight(edge.weight)}"')
+                lines.append(f"  {nid} -> {node_id(edge.node)} "
+                             f"[{', '.join(attrs)}];")
                 continue
-            emit(edge.node)
-            attrs = [f"style={style}", f"color={colour}"]
-            if edge.weight != 1:
-                attrs.append(f'label="{_format_weight(edge.weight)}"')
-            lines.append(f"  {nid} -> {node_id(edge.node)} "
-                         f"[{', '.join(attrs)}];")
+            node = payload
+            key = id(node)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            nid = node_id(node)
+            if node.is_terminal:
+                lines.append(f'  {nid} [shape=box, label="1"];')
+                continue
+            label = manager.order.index_at(node.level).name
+            lines.append(f'  {nid} [shape=oval, label="{label}"];')
+            pending = []
+            for edge, style, colour in ((node.low, "solid", "blue"),
+                                        (node.high, "dashed", "red")):
+                if edge.is_zero:
+                    continue
+                pending.append(("visit", edge.node))
+                pending.append(("edge", (nid, edge, style, colour)))
+            stack.extend(reversed(pending))
         return
 
     root = tdd.root
@@ -83,25 +98,40 @@ def to_dict(tdd: TDD) -> dict:
     nodes: List[dict] = []
     ids: Dict[int, int] = {}
 
-    def visit(node: Node) -> int:
-        key = id(node)
-        if key in ids:
-            return ids[key]
-        my_id = len(nodes)
-        ids[key] = my_id
-        if node.is_terminal:
-            nodes.append({"id": my_id, "terminal": True})
-            return my_id
-        entry: dict = {"id": my_id,
-                       "index": manager.order.index_at(node.level).name}
-        nodes.append(entry)
-        for tag, edge in (("low", node.low), ("high", node.high)):
-            if edge.is_zero:
-                entry[tag] = None
-            else:
-                entry[tag] = {"weight": [edge.weight.real, edge.weight.imag],
-                              "node": visit(edge.node)}
-        return my_id
+    def visit(start: Node) -> int:
+        # Action stack mirroring the recursive id-assignment order
+        # (preorder, low subtree before high); "fill" actions run after
+        # the child's "visit", when its id is in ``ids``.
+        stack = [("visit", start)]
+        while stack:
+            action, payload = stack.pop()
+            if action == "fill":
+                entry, tag, edge = payload
+                entry[tag] = {"weight": [edge.weight.real,
+                                         edge.weight.imag],
+                              "node": ids[id(edge.node)]}
+                continue
+            node = payload
+            key = id(node)
+            if key in ids:
+                continue
+            my_id = len(nodes)
+            ids[key] = my_id
+            if node.is_terminal:
+                nodes.append({"id": my_id, "terminal": True})
+                continue
+            entry = {"id": my_id,
+                     "index": manager.order.index_at(node.level).name}
+            nodes.append(entry)
+            pending = []
+            for tag, edge in (("low", node.low), ("high", node.high)):
+                if edge.is_zero:
+                    entry[tag] = None
+                else:
+                    pending.append(("visit", edge.node))
+                    pending.append(("fill", (entry, tag, edge)))
+            stack.extend(reversed(pending))
+        return ids[id(start)]
 
     root: Edge = tdd.root
     out = {"indices": list(tdd.index_names),
@@ -126,26 +156,37 @@ def from_dict(manager, data: dict) -> TDD:
     by_id = {entry["id"]: entry for entry in data["nodes"]}
     cache: Dict[int, "Edge"] = {}
 
-    def build(node_id: int) -> Edge:
-        if node_id in cache:
-            return cache[node_id]
-        entry = by_id[node_id]
-        if entry.get("terminal"):
-            edge = Edge(1 + 0j, manager.terminal)
-        else:
-            level = manager.level(Index(entry["index"]))
+    def build(start_id: int) -> Edge:
+        # iterative postorder: children rebuilt before their parent
+        stack = [("enter", start_id)]
+        while stack:
+            action, node_id = stack.pop()
+            if node_id in cache and action == "enter":
+                continue
+            entry = by_id[node_id]
+            if entry.get("terminal"):
+                cache[node_id] = Edge(1 + 0j, manager.terminal)
+                continue
+            if action == "enter":
+                stack.append(("exit", node_id))
+                for tag in ("low", "high"):
+                    sub = entry.get(tag)
+                    if sub is not None and sub["node"] not in cache:
+                        stack.append(("enter", sub["node"]))
+                continue
 
             def child(tag: str) -> Edge:
                 sub = entry.get(tag)
                 if sub is None:
                     return manager.zero_edge()
-                inner = build(sub["node"])
+                inner = cache[sub["node"]]
                 weight = complex(sub["weight"][0], sub["weight"][1])
                 return manager.make_edge(weight * inner.weight, inner.node)
 
-            edge = manager.make_node(level, child("low"), child("high"))
-        cache[node_id] = edge
-        return edge
+            cache[node_id] = manager.make_node(
+                manager.level(Index(entry["index"])),
+                child("low"), child("high"))
+        return cache[start_id]
 
     weight = complex(data["root_weight"][0], data["root_weight"][1])
     if data["root_node"] is None or weight == 0:

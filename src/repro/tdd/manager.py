@@ -1,4 +1,4 @@
-"""The TDD manager: unique table, normalisation and operation caches.
+"""The TDD manager: unique table, normalisation, caches and GC.
 
 Every TDD computation happens inside one :class:`TDDManager`.  The
 manager owns
@@ -7,9 +7,17 @@ manager owns
   canonical against,
 * the *unique table* interning nodes (structural equality becomes
   object identity),
-* memoisation caches for addition and contraction, and
-* counters used by the benchmark harness (peak live nodes, total nodes
-  made).
+* the instrumented :class:`~repro.tdd.cache.OperationCache` memo tables
+  for addition and contraction (hit/miss counters, optional bounded
+  size),
+* a weak registry of live :class:`~repro.tdd.tdd.TDD` handles that
+  drives root-based mark-and-sweep garbage collection
+  (:meth:`collect`), and
+* counters used by the benchmark harness (current/peak live nodes,
+  total nodes made, nodes reclaimed).
+
+The kernel is fully iterative (see :mod:`repro.tdd.apply`), so the
+manager never touches the interpreter recursion limit.
 
 Normalisation rule (DESIGN.md Section 3): when a node is created, its two
 outgoing edge weights are divided by the weight of largest magnitude
@@ -20,32 +28,53 @@ canonical for a fixed index order.
 
 from __future__ import annotations
 
-import sys
+import weakref
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.indices.index import Index
 from repro.indices.order import IndexOrder
 from repro.tdd import weights as wt
+from repro.tdd.cache import OperationCache
 from repro.tdd.node import Edge, Node, TERMINAL_LEVEL
 
-#: TDD recursion is level-deep; benchmark circuits easily exceed the
-#: default interpreter limit, so managers raise it on construction.
-_MIN_RECURSION_LIMIT = 100_000
+
+def _add_cache_ids(key: tuple, value: Edge) -> Tuple[int, int, int]:
+    # key = ((re, im, id_a), (re, im, id_b))
+    return (key[0][2], key[1][2], id(value.node))
+
+
+def _cont_cache_ids(key: tuple, value: Edge) -> Tuple[int, int, int]:
+    # key = (id_a, id_b, sum_levels)
+    return (key[0], key[1], id(value.node))
 
 
 class TDDManager:
-    """Owner of all nodes, caches and the index order for a family of TDDs."""
+    """Owner of all nodes, caches and the index order for a family of TDDs.
 
-    def __init__(self, order: Optional[IndexOrder] = None) -> None:
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+    ``cache_size`` bounds each operation cache (FIFO eviction); ``None``
+    means unbounded, the right default for one-shot computations.  Long
+    reachability runs combine a bound with periodic :meth:`collect`
+    calls to keep the working set flat.
+    """
+
+    def __init__(self, order: Optional[IndexOrder] = None,
+                 cache_size: Optional[int] = None) -> None:
         self.order = order if order is not None else IndexOrder()
         self.terminal = Node(TERMINAL_LEVEL, None, None)
         self._unique: Dict[tuple, Node] = {}
-        self._add_cache: Dict[tuple, Edge] = {}
-        self._cont_cache: Dict[tuple, Edge] = {}
+        self.add_cache = OperationCache("add", max_size=cache_size,
+                                        key_ids=_add_cache_ids)
+        self.cont_cache = OperationCache("cont", max_size=cache_size,
+                                         key_ids=_cont_cache_ids)
+        #: live TDD handles; their roots pin nodes during :meth:`collect`
+        self._handles: "weakref.WeakSet" = weakref.WeakSet()
         #: total number of distinct non-terminal nodes ever interned
         self.nodes_made: int = 0
+        #: high-water mark of the unique table size
+        self.peak_live_nodes: int = 0
+        #: number of :meth:`collect` runs / nodes they reclaimed
+        self.gc_runs: int = 0
+        self.nodes_reclaimed: int = 0
 
     # ------------------------------------------------------------------
     # index registration
@@ -117,6 +146,8 @@ class TDDManager:
             node = Node(level, Edge(nw0, n0), Edge(nw1, n1))
             self._unique[key] = node
             self.nodes_made += 1
+            if len(self._unique) > self.peak_live_nodes:
+                self.peak_live_nodes = len(self._unique)
         return Edge(norm, node)
 
     # ------------------------------------------------------------------
@@ -129,14 +160,79 @@ class TDDManager:
 
     def clear_caches(self) -> None:
         """Drop the operation memo tables (keeps interned nodes)."""
-        self._add_cache.clear()
-        self._cont_cache.clear()
+        self.add_cache.clear()
+        self.cont_cache.clear()
+
+    def cache_counters(self) -> Dict[str, int]:
+        """Combined cache counters, for before/after instrumentation."""
+        return {
+            "hits": self.add_cache.hits + self.cont_cache.hits,
+            "misses": self.add_cache.misses + self.cont_cache.misses,
+            "evictions": (self.add_cache.evictions
+                          + self.cont_cache.evictions),
+            "gc_runs": self.gc_runs,
+            "nodes_reclaimed": self.nodes_reclaimed,
+        }
 
     def reset(self) -> None:
         """Drop all nodes and caches.  Outstanding TDDs become invalid."""
         self._unique.clear()
         self.clear_caches()
         self.nodes_made = 0
+        self.peak_live_nodes = 0
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def _register_handle(self, handle) -> None:
+        """Called by :class:`~repro.tdd.tdd.TDD` on construction."""
+        self._handles.add(handle)
+
+    def live_roots(self) -> list:
+        """Root edges of every TDD handle still alive in Python."""
+        return [handle.root for handle in self._handles]
+
+    def collect(self, extra_roots: Iterable[Edge] = ()) -> int:
+        """Root-based mark-and-sweep; returns the number of nodes freed.
+
+        Every live :class:`~repro.tdd.tdd.TDD` handle (tracked weakly)
+        pins the nodes reachable from its root; ``extra_roots`` pins
+        additional raw edges.  Everything else leaves the unique table,
+        and cache entries mentioning a reclaimed node are invalidated
+        (a freed node's ``id`` may be recycled, so stale entries would
+        be unsound, not just wasteful).
+
+        Only call between operations: an apply in flight holds
+        intermediate edges the registry cannot see, and sweeping those
+        would break interning canonicity mid-computation.
+        """
+        marked = {id(self.terminal)}
+        stack = []
+        for root in self.live_roots():
+            if not root.is_zero:
+                stack.append(root.node)
+        for root in extra_roots:
+            if not root.is_zero:
+                stack.append(root.node)
+        while stack:
+            node = stack.pop()
+            if id(node) in marked:
+                continue
+            marked.add(id(node))
+            if node.is_terminal:
+                continue
+            for child in (node.low, node.high):
+                if not child.is_zero and id(child.node) not in marked:
+                    stack.append(child.node)
+        before = len(self._unique)
+        self._unique = {key: node for key, node in self._unique.items()
+                        if id(node) in marked}
+        reclaimed = before - len(self._unique)
+        self.add_cache.purge(marked)
+        self.cont_cache.purge(marked)
+        self.gc_runs += 1
+        self.nodes_reclaimed += reclaimed
+        return reclaimed
 
     # ------------------------------------------------------------------
     # operations (thin wrappers; implementations live in sibling modules)

@@ -4,12 +4,17 @@ Slicing fixes one index to a constant (paper, Section II.B); it is the
 workhorse of the addition-partition scheme and of the basis
 decomposition of projectors (Section IV.A), which locates the *leftmost
 non-zero path* of a projector TDD to extract its first non-zero column.
+
+Both operations run on the explicit-stack machinery from
+:mod:`repro.tdd.apply` — no Python recursion, so they work on diagrams
+of arbitrary depth under the default interpreter recursion limit.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional
 
+from repro.tdd.apply import unary_apply
 from repro.tdd.manager import TDDManager
 from repro.tdd.node import Edge, Node
 
@@ -21,31 +26,21 @@ def slice_edge(manager: TDDManager, edge: Edge, level: int, value: int) -> Edge:
     """
     if value not in (0, 1):
         raise ValueError(f"slice value must be 0 or 1, got {value!r}")
-    memo: Dict[int, Edge] = {}
 
-    def rec_node(node: Node) -> Edge:
-        if node.is_terminal or node.level > level:
+    def shortcut(node: Node) -> Optional[Edge]:
+        if node.level > level:
+            # below the sliced index: subtree unchanged
             return Edge(1 + 0j, node)
-        cached = memo.get(id(node))
-        if cached is not None:
-            return cached
         if node.level == level:
             chosen = node.high if value else node.low
-            result = manager.make_edge(chosen.weight, chosen.node)
-        else:
-            result = manager.make_node(node.level,
-                                       rec_edge(node.low),
-                                       rec_edge(node.high))
-        memo[id(node)] = result
-        return result
+            return manager.make_edge(chosen.weight, chosen.node)
+        return None
 
-    def rec_edge(e: Edge) -> Edge:
-        if e.is_zero:
-            return manager.zero_edge()
-        inner = rec_node(e.node)
-        return manager.make_edge(e.weight * inner.weight, inner.node)
-
-    return rec_edge(edge)
+    return unary_apply(
+        manager, edge,
+        rebuild=lambda node, low, high: manager.make_node(node.level,
+                                                          low, high),
+        shortcut=shortcut)
 
 
 def slice_many(manager: TDDManager, edge: Edge,
@@ -71,30 +66,25 @@ def first_nonzero_assignment(edge: Edge,
     """
     if edge.is_zero:
         return None
-
-    def rec(node: Node) -> Optional[Dict[int, int]]:
+    # Backtracking DFS with an explicit frame stack.  Each frame is
+    # ``[node, tried]`` where ``tried`` is 0 (nothing yet), 1 (descended
+    # low) or 2 (descended high); the successful path is read off the
+    # frames when the terminal is reached.
+    frames = [[edge.node, 0]]
+    while frames:
+        node, tried = frames[-1]
         if node.is_terminal:
-            return {}
-        if node.level in target_levels:
-            if not node.low.is_zero:
-                sub = rec(node.low.node)
-                if sub is not None:
-                    sub[node.level] = 0
-                    return sub
-            if not node.high.is_zero:
-                sub = rec(node.high.node)
-                if sub is not None:
-                    sub[node.level] = 1
-                    return sub
-            return None
-        # A non-target (e.g. row) index: any branch that survives the
-        # slice keeps the whole tensor non-zero.
-        if not node.low.is_zero:
-            sub = rec(node.low.node)
-            if sub is not None:
-                return sub
-        if not node.high.is_zero:
-            return rec(node.high.node)
-        return None
-
-    return rec(edge.node)
+            assignment: Dict[int, int] = {}
+            for frame_node, frame_tried in frames[:-1]:
+                if frame_node.level in target_levels:
+                    assignment[frame_node.level] = frame_tried - 1
+            return assignment
+        if tried == 0 and not node.low.is_zero:
+            frames[-1][1] = 1
+            frames.append([node.low.node, 0])
+        elif tried <= 1 and not node.high.is_zero:
+            frames[-1][1] = 2
+            frames.append([node.high.node, 0])
+        else:
+            frames.pop()
+    return None

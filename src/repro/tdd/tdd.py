@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import TDDError
 from repro.indices.index import Index
 from repro.tdd import weights as wt
+from repro.tdd.apply import unary_apply
 from repro.tdd.arithmetic import (add_edges, conjugate_edge, negate_edge,
                                   scale_edge)
 from repro.tdd.contraction import contract_edges
@@ -33,7 +34,7 @@ def _as_index(value: IndexLike) -> Index:
 class TDD:
     """An immutable tensor represented as a tensor decision diagram."""
 
-    __slots__ = ("manager", "root", "_indices")
+    __slots__ = ("manager", "root", "_indices", "__weakref__")
 
     def __init__(self, manager: TDDManager, root: Edge,
                  indices: Iterable[Index]) -> None:
@@ -41,6 +42,8 @@ class TDD:
         self.manager = manager
         self.root = root
         self._indices = idx
+        # live handles pin their nodes across TDDManager.collect()
+        manager._register_handle(self)
 
     # ------------------------------------------------------------------
     # basic queries
@@ -77,18 +80,17 @@ class TDD:
         This is the quantity the paper's Table I reports as ``#node``.
         """
         seen = set()
-
-        def visit(node: Node) -> None:
+        stack = [self.root.node]
+        while stack:
+            node = stack.pop()
             if id(node) in seen:
-                return
+                continue
             seen.add(id(node))
             if not node.is_terminal:
                 if not node.low.is_zero:
-                    visit(node.low.node)
+                    stack.append(node.low.node)
                 if not node.high.is_zero:
-                    visit(node.high.node)
-
-        visit(self.root.node)
+                    stack.append(node.high.node)
         return len(seen)
 
     # ------------------------------------------------------------------
@@ -234,33 +236,10 @@ class TDD:
         if sorted(new_levels) != new_levels or len(set(new_levels)) != len(new_levels):
             raise TDDError("rename does not preserve the relative index order")
 
-        memo: Dict[int, Edge] = {}
-
-        def rec(node: Node) -> Edge:
-            if node.is_terminal:
-                return Edge(1 + 0j, node)
-            cached = memo.get(id(node))
-            if cached is not None:
-                return cached
-
-            def child(e: Edge) -> Edge:
-                if e.is_zero:
-                    return self.manager.zero_edge()
-                inner = rec(e.node)
-                return self.manager.make_edge(e.weight * inner.weight,
-                                              inner.node)
-
-            result = self.manager.make_node(level_map[node.level],
-                                            child(node.low), child(node.high))
-            memo[id(node)] = result
-            return result
-
-        if self.root.is_zero:
-            root = self.manager.zero_edge()
-        else:
-            inner = rec(self.root.node)
-            root = self.manager.make_edge(self.root.weight * inner.weight,
-                                          inner.node)
+        root = unary_apply(
+            self.manager, self.root,
+            rebuild=lambda node, low, high: self.manager.make_node(
+                level_map[node.level], low, high))
         return TDD(self.manager, root, new_indices)
 
     # ------------------------------------------------------------------

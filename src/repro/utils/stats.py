@@ -2,13 +2,17 @@
 
 The paper's Table I reports, per benchmark and method, the wall-clock
 time and the *maximum node count over all TDDs generated* during the
-image computation.  :class:`StatsRecorder` collects exactly those two
-quantities plus a few extra counters that the ablation benchmarks use.
+image computation.  :class:`StatsRecorder` collects those two
+quantities plus the kernel instrumentation the refactored TDD core
+exposes: operation-cache hit/miss counts, garbage-collection activity
+and the peak/post-GC live-node population of the manager's unique
+table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 
 @dataclass
@@ -24,6 +28,18 @@ class StatsRecorder:
     additions: int = 0
     #: Wall-clock seconds (filled in by the caller).
     seconds: float = 0.0
+    #: Operation-cache lookups answered from / missing the memo tables.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Bounded-cache evictions during the run.
+    cache_evictions: int = 0
+    #: Garbage collection: number of collect() runs and nodes freed.
+    gc_runs: int = 0
+    nodes_reclaimed: int = 0
+    #: High-water mark of the manager's unique table during the run.
+    peak_live_nodes: int = 0
+    #: Unique-table population after the final (post-run) collection.
+    live_nodes: int = 0
     #: Free-form counters (e.g. number of partition blocks).
     extra: dict = field(default_factory=dict)
 
@@ -37,11 +53,47 @@ class StatsRecorder:
         if count > self.max_nodes:
             self.max_nodes = count
 
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of memo lookups answered from the caches."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def record_manager(self, manager,
+                       baseline: Optional[Dict[str, int]] = None) -> None:
+        """Snapshot a manager's kernel counters into this recorder.
+
+        ``baseline`` is an earlier :meth:`TDDManager.cache_counters`
+        snapshot; passing it makes the cache/GC numbers deltas for this
+        run rather than manager lifetime totals.  Peak and current live
+        nodes are always absolute (the unique table is shared state).
+        """
+        counters = manager.cache_counters()
+        base = baseline or {}
+        self.cache_hits = counters["hits"] - base.get("hits", 0)
+        self.cache_misses = counters["misses"] - base.get("misses", 0)
+        self.cache_evictions = (counters["evictions"]
+                                - base.get("evictions", 0))
+        self.gc_runs = counters["gc_runs"] - base.get("gc_runs", 0)
+        self.nodes_reclaimed = (counters["nodes_reclaimed"]
+                                - base.get("nodes_reclaimed", 0))
+        self.peak_live_nodes = manager.peak_live_nodes
+        self.live_nodes = manager.live_nodes
+
     def merge(self, other: "StatsRecorder") -> None:
         """Fold another recorder (e.g. from a sub-computation) into this one."""
         self.max_nodes = max(self.max_nodes, other.max_nodes)
         self.contractions += other.contractions
         self.additions += other.additions
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
+        self.gc_runs += other.gc_runs
+        self.nodes_reclaimed += other.nodes_reclaimed
+        self.peak_live_nodes = max(self.peak_live_nodes,
+                                   other.peak_live_nodes)
+        self.live_nodes = max(self.live_nodes, other.live_nodes)
 
     def as_dict(self) -> dict:
         out = {
@@ -49,6 +101,14 @@ class StatsRecorder:
             "contractions": self.contractions,
             "additions": self.additions,
             "seconds": self.seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_evictions": self.cache_evictions,
+            "gc_runs": self.gc_runs,
+            "nodes_reclaimed": self.nodes_reclaimed,
+            "peak_live_nodes": self.peak_live_nodes,
+            "live_nodes": self.live_nodes,
         }
         out.update(self.extra)
         return out

@@ -100,3 +100,66 @@ class TestEmit:
         circuit = QuantumCircuit(4).cnx([0, 1, 2], 3)
         with pytest.raises(CircuitError):
             to_qasm(circuit)
+
+
+def _library_circuits():
+    """Every unitary circuit the library builds at a dense-checkable size."""
+    from repro.circuits.library import (bernstein_vazirani, cuccaro_adder,
+                                        ghz_circuit, grover_iteration,
+                                        hidden_shift_circuit, qft_circuit,
+                                        qpe_circuit, qrw_step,
+                                        w_state_circuit)
+    return [
+        ("ghz4", ghz_circuit(4)),
+        ("bv5", bernstein_vazirani(5)),
+        ("qft4", qft_circuit(4)),
+        ("grover4", grover_iteration(4)),
+        ("qrw4", qrw_step(4)),
+        ("qpe4", qpe_circuit(4, 0.625)),
+        ("wstate4", w_state_circuit(4)),
+        ("hiddenshift4", hidden_shift_circuit(4)),
+        # 2-bit registers: the adder spans 2n+2 qubits and the dense
+        # unitary check is exponential in that
+        ("adder2", cuccaro_adder(2)),
+    ]
+
+
+class TestLibraryRoundTrip:
+    """Export → import → semantic equality across the circuit library.
+
+    Circuits using gates outside the OpenQASM 2.0 subset (wide
+    multi-controls, explicit scalar phases) are lowered with
+    ``decompose_circuit`` first; scalar gates only contribute a global
+    phase and are dropped before emission, so equality is checked up to
+    global phase.
+    """
+
+    @pytest.mark.parametrize(
+        "label,circuit", _library_circuits(),
+        ids=[label for label, _ in _library_circuits()])
+    def test_round_trip(self, label, circuit):
+        from repro.circuits.decompose import decompose_circuit
+        try:
+            text = to_qasm(circuit)
+        except CircuitError:
+            lowered = decompose_circuit(circuit)
+            exportable = QuantumCircuit(lowered.num_qubits, lowered.name)
+            for gate in lowered.gates:
+                if not gate.is_scalar:
+                    exportable.append(gate)
+            text = to_qasm(exportable)
+        parsed = parse_qasm(text)
+        assert parsed.num_qubits == circuit.num_qubits
+        u_original = circuit_unitary(circuit)
+        u_parsed = circuit_unitary(parsed)
+        # equality up to global phase: U V^dagger must be c·I
+        ratio = u_original @ u_parsed.conj().T
+        dim = u_original.shape[0]
+        assert np.allclose(ratio, ratio[0, 0] * np.eye(dim), atol=1e-8)
+        assert np.isclose(abs(ratio[0, 0]), 1.0, atol=1e-8)
+
+    def test_round_trip_is_stable(self):
+        """A second export of the parsed circuit is byte-identical."""
+        from repro.circuits.library import qft_circuit
+        text = to_qasm(qft_circuit(4))
+        assert to_qasm(parse_qasm(text)) == text

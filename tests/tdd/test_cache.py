@@ -1,0 +1,128 @@
+"""The instrumented :class:`OperationCache`: counters, bounds, purge."""
+
+import numpy as np
+import pytest
+
+from repro.indices.index import Index
+from repro.indices.order import IndexOrder
+from repro.tdd import construction as tc
+from repro.tdd.cache import OperationCache
+from repro.tdd.manager import TDDManager
+
+from tests.helpers import fresh_manager, random_tensor
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        cache = OperationCache("test")
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 42)
+        assert cache.get(("k",)) == 42
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.lookups == 2
+        assert cache.hit_rate == 0.5
+
+    def test_idle_hit_rate_is_zero(self):
+        assert OperationCache("test").hit_rate == 0.0
+
+    def test_clear_keeps_stats(self):
+        cache = OperationCache("test")
+        cache.put(("k",), 1)
+        cache.get(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        cache.reset_stats()
+        assert cache.hits == cache.misses == 0
+
+    def test_stats_dict(self):
+        cache = OperationCache("add")
+        cache.get(("missing",))
+        stats = cache.stats()
+        assert stats["name"] == "add"
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.0
+
+
+class TestBoundedSize:
+    def test_fifo_eviction(self):
+        cache = OperationCache("test", max_size=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)  # evicts ("a",)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(("a",)) is None
+        assert cache.get(("c",)) == 3
+
+    def test_overwrite_does_not_evict(self):
+        cache = OperationCache("test", max_size=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("a",), 10)
+        assert cache.evictions == 0
+        assert cache.get(("a",)) == 10
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            OperationCache("test", max_size=0)
+
+    def test_bounded_manager_still_correct(self, rng):
+        """Eviction may cost recomputation, never correctness."""
+        unbounded = fresh_manager(list("abcdef"))
+        bounded = TDDManager(IndexOrder([Index(n) for n in "abcdef"]),
+                             cache_size=8)
+        idx = [Index(n) for n in "abcdef"]
+        x = random_tensor(rng, 6)
+        y = random_tensor(rng, 6)
+        expect = (tc.from_numpy(unbounded, x, idx)
+                  + tc.from_numpy(unbounded, y, idx)).to_numpy()
+        got = (tc.from_numpy(bounded, x, idx)
+               + tc.from_numpy(bounded, y, idx)).to_numpy()
+        np.testing.assert_allclose(got, expect, atol=1e-8)
+        assert len(bounded.add_cache) <= 8
+        assert bounded.add_cache.evictions > 0
+
+
+class TestPurge:
+    def test_purge_without_extractor_clears(self):
+        cache = OperationCache("test")
+        cache.put(("a",), 1)
+        assert cache.purge({123}) == 1
+        assert len(cache) == 0
+
+    def test_purge_keeps_live_ids(self):
+        cache = OperationCache(
+            "test", key_ids=lambda key, value: (key[0], id(value)))
+        alive = object()
+        dead = object()
+        cache.put((id(alive),), alive)
+        cache.put((id(dead),), dead)
+        dropped = cache.purge({id(alive)})
+        assert dropped == 1
+        assert cache._table == {(id(alive),): alive}
+
+
+class TestManagerIntegration:
+    def test_manager_cache_counters_roll_up(self, rng):
+        m = fresh_manager(list("abcd"))
+        idx = [Index(n) for n in "abcd"]
+        x = tc.from_numpy(m, random_tensor(rng, 4), idx)
+        y = tc.from_numpy(m, random_tensor(rng, 4), idx)
+        _ = x + y
+        counters = m.cache_counters()
+        assert counters["misses"] > 0
+        _ = x + y  # replay: the top-level entry hits
+        assert m.cache_counters()["hits"] > counters["hits"]
+
+    def test_clear_caches_drops_entries(self, rng):
+        m = fresh_manager(list("abcd"))
+        idx = [Index(n) for n in "abcd"]
+        x = tc.from_numpy(m, random_tensor(rng, 4), idx)
+        y = tc.from_numpy(m, random_tensor(rng, 4), idx)
+        _ = x + y
+        assert len(m.add_cache) > 0
+        m.clear_caches()
+        assert len(m.add_cache) == 0
+        assert len(m.cont_cache) == 0

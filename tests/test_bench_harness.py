@@ -23,11 +23,19 @@ class TestRunner:
         row = run_image_benchmark(lambda: models.ghz_qts(6), "GHZ6",
                                   "basic", timeout_seconds=0.0)
         assert row.timed_out
-        assert row.cells()[2] == "-"
+        assert row.cells() == ("GHZ6", "basic", "-", "-", "-", "-")
 
     def test_cells_format(self):
-        row = BenchRow("X", "basic", 1.234, 42, 1)
-        assert row.cells() == ("X", "basic", "1.23", "42")
+        row = BenchRow("X", "basic", 1.234, 42, 1,
+                       cache_hit_rate=0.5, peak_live_nodes=100,
+                       live_nodes=10)
+        assert row.cells() == ("X", "basic", "1.23", "42", "50%", "10/100")
+
+    def test_instrumentation_fields(self):
+        row = run_image_benchmark(lambda: models.ghz_qts(4), "GHZ4",
+                                  "contraction", k1=2, k2=2)
+        assert 0.0 <= row.cache_hit_rate <= 1.0
+        assert 0 < row.live_nodes <= row.peak_live_nodes
 
 
 class TestTable1:
