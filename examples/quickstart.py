@@ -4,9 +4,12 @@ Reproduces the paper's Section III.A.1 case study end to end:
 
 1. build the 3-qubit Grover-iteration quantum transition system,
 2. compute the image of the invariant subspace S = span{|++->, |11->}
-   with all three algorithms,
+   with all four algorithms (basic / addition / contraction / hybrid),
 3. verify the invariance property T(S) = S,
 4. print the Fig. 1 projector TDD as Graphviz DOT.
+
+See examples/parallel_sweep.py for the parallel sliced execution
+strategy and the batch sweep runner.
 
 Run:  python examples/quickstart.py
 """
@@ -21,10 +24,11 @@ def main() -> None:
     print(f"System: {qts}")
     print(f"Initial subspace dimension: {qts.initial.dimension}")
 
-    # --- one-step images with all three algorithms -------------------
+    # --- one-step images with all four algorithms --------------------
     for method, params in (("basic", {}),
                            ("addition", {"k": 1}),
-                           ("contraction", {"k1": 4, "k2": 4})):
+                           ("contraction", {"k1": 4, "k2": 4}),
+                           ("hybrid", {"k": 1, "k1": 4, "k2": 4})):
         result = compute_image(models.grover_qts(3, initial="invariant"),
                                method=method, **params)
         print(f"  {method:12s} dim(T(S)) = {result.dimension}   "

@@ -26,14 +26,19 @@ Quickstart::
     # reference (small instances only — the dense backend is 2^n):
     assert checker.cross_validate().ok
     dense = ModelChecker(qts, backend="dense")    # same API, dense engine
+
+    # parallel sliced execution: contractions decompose into cofactor
+    # subproblems fanned out over a process pool (identical results)
+    parallel = ModelChecker(qts, strategy="sliced", jobs=4)
 """
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.gates.gate import Gate
 from repro.gates import library as gates
 from repro.image import (AdditionImageComputer, BasicImageComputer,
-                         ContractionImageComputer, ImageResult,
-                         compute_image, make_computer)
+                         ContractionImageComputer, ImageEngine, ImageResult,
+                         MonolithicExecutor, SlicedExecutor, compute_image,
+                         make_computer)
 from repro.indices.index import Index, wire
 from repro.indices.order import IndexOrder
 from repro.mc.backends import (Backend, DenseStatevectorBackend, TDDBackend,
@@ -53,7 +58,8 @@ __version__ = "1.0.0"
 __all__ = [
     "QuantumCircuit", "Gate", "gates",
     "AdditionImageComputer", "BasicImageComputer",
-    "ContractionImageComputer", "ImageResult", "compute_image",
+    "ContractionImageComputer", "ImageEngine", "ImageResult",
+    "MonolithicExecutor", "SlicedExecutor", "compute_image",
     "make_computer",
     "Index", "wire", "IndexOrder",
     "Backend", "DenseStatevectorBackend", "TDDBackend",

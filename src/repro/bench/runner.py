@@ -3,9 +3,13 @@
 A benchmark run builds a *fresh* QTS (so transition-TDD construction is
 included in the measured time, matching the paper's methodology),
 computes one image, and reports wall seconds + peak TDD node count —
-the two columns of Table I — plus the kernel instrumentation added by
-the iterative apply refactor: operation-cache hit rate and the
-peak/post-GC live-node population of the manager.
+the two columns of Table I — plus the kernel instrumentation: cache
+hit rate and the peak/post-GC live-node population.
+
+:class:`BenchRow` is the presentation type shared by the table
+harnesses; batch execution itself lives in :mod:`repro.bench.sweep`
+(the tables are thin wrappers over sweep specs) and
+:meth:`BenchRow.from_record` adapts a sweep record into a table row.
 """
 
 from __future__ import annotations
@@ -33,6 +37,8 @@ class BenchRow:
     peak_live_nodes: int = 0
     #: unique-table population after the post-run garbage collection
     live_nodes: int = 0
+    #: execution strategy the row ran under (see repro.image.sliced)
+    strategy: str = "monolithic"
 
     def metric_cells(self):
         """The per-method table columns: time, max#node, hit%, live/peak."""
@@ -49,26 +55,49 @@ class BenchRow:
     def hit_rate_percent(self) -> str:
         return f"{100 * self.cache_hit_rate:.0f}%"
 
+    @classmethod
+    def from_record(cls, record: dict) -> "BenchRow":
+        """Adapt a :mod:`repro.bench.sweep` record into a table row."""
+        if record.get("failed"):
+            return cls(benchmark=record["label"], method=record["method"],
+                       seconds=0.0, max_nodes=0, dimension=0,
+                       timed_out=True,
+                       strategy=record.get("strategy", "monolithic"))
+        return cls(benchmark=record["label"], method=record["method"],
+                   seconds=record["seconds"],
+                   max_nodes=record["max_nodes"],
+                   dimension=record["dimension"],
+                   cache_hit_rate=record["cache_hit_rate"],
+                   peak_live_nodes=record["peak_live_nodes"],
+                   live_nodes=record["live_nodes"],
+                   strategy=record.get("strategy", "monolithic"))
+
 
 def run_image_benchmark(builder: Callable[[], QuantumTransitionSystem],
                         label: str, method: str,
                         timeout_seconds: Optional[float] = None,
+                        strategy: str = "monolithic",
+                        jobs: Optional[int] = None,
                         **params) -> BenchRow:
     """Run one image computation and collect the Table I columns.
 
+    The escape hatch for ad-hoc builders (tests, custom systems);
+    named-model grids go through :mod:`repro.bench.sweep` instead.
     ``timeout_seconds`` is a *soft* cap checked after the run (pure
     Python cannot preempt a contraction); callers use generous caps and
     pre-sized workloads instead of relying on it.
     """
     qts = builder()
-    result = compute_image(qts, method=method, **params)
+    result = compute_image(qts, method=method, strategy=strategy,
+                           jobs=jobs, **params)
     row = BenchRow(benchmark=label, method=method,
                    seconds=result.stats.seconds,
                    max_nodes=result.stats.max_nodes,
                    dimension=result.dimension,
                    cache_hit_rate=result.stats.cache_hit_rate,
                    peak_live_nodes=result.stats.peak_live_nodes,
-                   live_nodes=result.stats.live_nodes)
+                   live_nodes=result.stats.live_nodes,
+                   strategy=strategy)
     if timeout_seconds is not None and row.seconds > timeout_seconds:
         row.timed_out = True
     return row

@@ -1,0 +1,436 @@
+"""Declarative batch experiment runner.
+
+A *sweep* is a list of fully-described benchmark configurations
+(:class:`RunSpec`: circuit family × size × image method × backend ×
+execution strategy), executed by :func:`run_sweep`:
+
+* configurations fan out over a :mod:`concurrent.futures` process pool
+  (``jobs > 1``) — every run builds its QTS inside its own worker, so
+  runs are isolated and the measured time includes transition-TDD
+  construction, matching the paper's methodology;
+* every run records the full kernel cost profile through
+  :class:`~repro.utils.stats.StatsRecorder` (time, peak nodes, cache
+  hit/miss, GC activity, sliced-strategy counters);
+* results stream into a JSON artifact after every completed run and a
+  CSV at the end, and a sweep is *resumable*: re-running against the
+  same artifact directory skips configurations whose ``run_id`` is
+  already recorded.
+
+``table1``/``table2`` are thin wrappers over this module (their grids
+are just sweep specs), and the CLI exposes it as ``python -m repro
+sweep`` — see :func:`main` for the spec-file format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.mc.backends import BACKENDS, make_backend
+from repro.image.engine import METHODS
+from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
+from repro.systems import models
+from repro.utils.tables import format_table
+
+#: the flat column schema of the CSV artifact (and of every record)
+CSV_COLUMNS = (
+    "run_id", "label", "model", "size", "method", "backend", "strategy",
+    "jobs", "slice_depth", "dimension", "seconds", "max_nodes",
+    "contractions", "additions", "cache_hits", "cache_misses",
+    "cache_hit_rate", "cache_evictions", "slices", "parallel_tasks",
+    "gc_runs", "nodes_reclaimed", "peak_live_nodes", "live_nodes",
+    "failed", "error",
+)
+
+
+# ----------------------------------------------------------------------
+# specs
+# ----------------------------------------------------------------------
+@dataclass
+class RunSpec:
+    """One fully-described benchmark configuration.
+
+    ``method_params`` are image-method parameters (``k``/``k1``/``k2``/
+    ``order_policy``); ``model_params`` go to the circuit builder
+    (``iterations``, ``steps``, ``noise_probability``, ...).  ``jobs``
+    is the *intra-run* slice-pool width of the sliced strategy — the
+    sweep-level fan-out is a separate argument to :func:`run_sweep`.
+    """
+
+    model: str
+    size: int
+    method: str = "contraction"
+    backend: str = "tdd"
+    strategy: str = "monolithic"
+    jobs: int = 1
+    slice_depth: int = DEFAULT_SLICE_DEPTH
+    method_params: dict = field(default_factory=dict)
+    model_params: dict = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.model not in models.MODEL_BUILDERS:
+            raise ReproError(f"unknown model {self.model!r}; choose from "
+                             f"{sorted(models.MODEL_BUILDERS)}")
+        if self.method not in METHODS:
+            raise ReproError(f"unknown method {self.method!r}; "
+                             f"choose from {METHODS}")
+        if self.backend not in BACKENDS:
+            raise ReproError(f"unknown backend {self.backend!r}; "
+                             f"choose from {BACKENDS}")
+        if self.strategy not in STRATEGIES:
+            raise ReproError(f"unknown strategy {self.strategy!r}; "
+                             f"choose from {STRATEGIES}")
+        if self.label is None:
+            self.label = f"{self.model}{self.size}"
+
+    # ------------------------------------------------------------------
+    @property
+    def run_id(self) -> str:
+        """Deterministic identity of this configuration (resume key)."""
+        def fmt(params: dict) -> str:
+            return ",".join(f"{k}={params[k]}" for k in sorted(params))
+        parts = [f"{self.model}{self.size}", self.method, self.backend,
+                 self.strategy]
+        if self.strategy != "monolithic":
+            parts.append(f"jobs={self.jobs},depth={self.slice_depth}")
+        if self.method_params:
+            parts.append(fmt(self.method_params))
+        if self.model_params:
+            parts.append(fmt(self.model_params))
+        return "/".join(parts)
+
+    def as_dict(self) -> dict:
+        return {"model": self.model, "size": self.size,
+                "method": self.method, "backend": self.backend,
+                "strategy": self.strategy, "jobs": self.jobs,
+                "slice_depth": self.slice_depth,
+                "method_params": dict(self.method_params),
+                "model_params": dict(self.model_params),
+                "label": self.label}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(**data)
+
+
+@dataclass
+class SweepSpec:
+    """A named list of runs — the unit :func:`run_sweep` executes."""
+
+    name: str
+    runs: List[RunSpec]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_axes(cls, name: str,
+                  model_names: Sequence[str],
+                  sizes: Sequence[int],
+                  methods: Sequence[str] = ("contraction",),
+                  backends: Sequence[str] = ("tdd",),
+                  strategies: Sequence[str] = ("monolithic",),
+                  jobs_per_run: int = 1,
+                  slice_depth: int = DEFAULT_SLICE_DEPTH,
+                  method_params: Optional[Dict[str, dict]] = None,
+                  model_params: Optional[dict] = None) -> "SweepSpec":
+        """The cartesian product of the given axes.
+
+        ``method_params`` maps a method name to its parameter dict
+        (e.g. ``{"contraction": {"k1": 4, "k2": 4}}``);
+        ``model_params`` applies to every run.
+        """
+        method_params = method_params or {}
+        runs = [RunSpec(model=model, size=size, method=method,
+                        backend=backend, strategy=strategy,
+                        jobs=jobs_per_run, slice_depth=slice_depth,
+                        method_params=dict(method_params.get(method, {})),
+                        model_params=dict(model_params or {}))
+                for model in model_names
+                for size in sizes
+                for method in methods
+                for backend in backends
+                for strategy in strategies]
+        return cls(name=name, runs=runs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Parse a declarative spec.
+
+        Either an explicit run list::
+
+            {"name": "mine", "runs": [{"model": "ghz", "size": 4, ...}]}
+
+        or axes to take the product of::
+
+            {"name": "tiny", "models": ["ghz", "bv"], "sizes": [3, 4],
+             "methods": ["basic"], "strategies": ["monolithic", "sliced"],
+             "method_params": {"contraction": {"k1": 4, "k2": 4}}}
+        """
+        name = data.get("name", "sweep")
+        if "runs" in data:
+            return cls(name=name,
+                       runs=[RunSpec.from_dict(r) for r in data["runs"]])
+        try:
+            model_names = data["models"]
+            sizes = data["sizes"]
+        except KeyError as missing:
+            raise ReproError(f"sweep spec needs either 'runs' or the "
+                             f"'models'/'sizes' axes (missing {missing})")
+        return cls.from_axes(
+            name, model_names, sizes,
+            methods=data.get("methods", ("contraction",)),
+            backends=data.get("backends", ("tdd",)),
+            strategies=data.get("strategies", ("monolithic",)),
+            jobs_per_run=data.get("jobs_per_run", 1),
+            slice_depth=data.get("slice_depth", DEFAULT_SLICE_DEPTH),
+            method_params=data.get("method_params"),
+            model_params=data.get("model_params"))
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def as_dict(self) -> dict:
+        return {"name": self.name,
+                "runs": [run.as_dict() for run in self.runs]}
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def execute_run(spec: RunSpec) -> dict:
+    """Run one configuration in-process and return its flat record.
+
+    Builds a fresh QTS (construction time is part of the measurement),
+    computes one image on the requested backend/strategy, and flattens
+    the :class:`~repro.utils.stats.StatsRecorder` profile into the
+    :data:`CSV_COLUMNS` schema.
+    """
+    record = dict(spec.as_dict())
+    del record["method_params"], record["model_params"]
+    record["run_id"] = spec.run_id
+    record["failed"] = False
+    record["error"] = ""
+    try:
+        qts = models.build_model(spec.model, spec.size, **spec.model_params)
+        backend = make_backend(spec.backend, method=spec.method,
+                               strategy=spec.strategy, jobs=spec.jobs,
+                               slice_depth=spec.slice_depth,
+                               **spec.method_params)
+        result = backend.compute_image(qts)
+    except Exception as exc:  # a failed cell must not sink the sweep
+        record["failed"] = True
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        for column in CSV_COLUMNS:
+            record.setdefault(column, 0)
+        return record
+    record["dimension"] = result.dimension
+    stats = result.stats.as_dict()
+    for column in CSV_COLUMNS:
+        if column not in record:
+            record[column] = stats.get(column, 0)
+    return record
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Process-pool entry point (a :class:`RunSpec` as a plain dict)."""
+    return execute_run(RunSpec.from_dict(payload))
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`run_sweep`, in spec order."""
+
+    spec: SweepSpec
+    records: List[dict]
+    skipped: int = 0
+    json_path: Optional[str] = None
+    csv_path: Optional[str] = None
+
+    @property
+    def failed(self) -> List[dict]:
+        return [r for r in self.records if r.get("failed")]
+
+
+def _artifact_paths(spec: SweepSpec, out_dir: str):
+    return (os.path.join(out_dir, f"{spec.name}.json"),
+            os.path.join(out_dir, f"{spec.name}.csv"))
+
+
+def _load_existing(json_path: str) -> Dict[str, dict]:
+    if not os.path.exists(json_path):
+        return {}
+    with open(json_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return {record["run_id"]: record for record in data.get("records", [])}
+
+
+def _write_json(json_path: str, spec: SweepSpec,
+                by_id: Dict[str, dict]) -> None:
+    # temp-file + rename: a sweep killed mid-write must not corrupt the
+    # artifact it would later resume from
+    payload = {"name": spec.name, "spec": spec.as_dict(),
+               "records": list(by_id.values())}
+    tmp_path = json_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    os.replace(tmp_path, json_path)
+
+
+def write_csv(csv_path: str, records: Iterable[dict]) -> None:
+    with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(CSV_COLUMNS),
+                                extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+
+
+def run_sweep(spec: SweepSpec, jobs: int = 1,
+              out_dir: Optional[str] = None, resume: bool = True,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SweepResult:
+    """Execute a sweep, optionally fanning runs out over a process pool.
+
+    ``jobs`` is the number of *concurrent configurations*; each one
+    runs :func:`execute_run` in its own worker process.  With
+    ``out_dir`` set, the JSON artifact is rewritten after every
+    completed run and ``resume=True`` (the default) skips run ids
+    already present in it — a killed sweep continues where it stopped.
+    """
+    say = progress if progress is not None else (lambda _msg: None)
+    json_path = csv_path = None
+    by_id: Dict[str, dict] = {}
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        json_path, csv_path = _artifact_paths(spec, out_dir)
+        if resume:
+            by_id = _load_existing(json_path)
+    wanted = {run.run_id for run in spec.runs}
+    # keep only this spec's records, and retry failed cells instead of
+    # resuming into a permanently-red sweep
+    by_id = {rid: rec for rid, rec in by_id.items()
+             if rid in wanted and not rec.get("failed")}
+    pending = [run for run in spec.runs if run.run_id not in by_id]
+    skipped = len(spec.runs) - len(pending)
+    if skipped:
+        say(f"resume: {skipped} of {len(spec.runs)} runs already recorded")
+
+    def record_done(record: dict) -> None:
+        by_id[record["run_id"]] = record
+        if json_path is not None:
+            _write_json(json_path, spec, by_id)
+        state = "FAILED " + record["error"] if record["failed"] else (
+            f"dim={record['dimension']} {record['seconds']:.2f}s")
+        say(f"[{len(by_id)}/{len(spec.runs)}] {record['run_id']}: {state}")
+
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(_execute_payload, run.as_dict()): run
+                       for run in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    record_done(future.result())
+    else:
+        for run in pending:
+            record_done(execute_run(run))
+
+    records = [by_id[run.run_id] for run in spec.runs]
+    if csv_path is not None:
+        write_csv(csv_path, records)
+    return SweepResult(spec=spec, records=records, skipped=skipped,
+                       json_path=json_path, csv_path=csv_path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def format_records(records: Sequence[dict]) -> str:
+    headers = ["run", "dim", "time [s]", "max#node", "cache hit%",
+               "live/peak", "slices"]
+    rows = []
+    for record in records:
+        if record.get("failed"):
+            rows.append([record["run_id"], "-", "-", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            record["run_id"], str(record["dimension"]),
+            f"{record['seconds']:.2f}", str(record["max_nodes"]),
+            f"{100 * record['cache_hit_rate']:.0f}%",
+            f"{record['live_nodes']}/{record['peak_live_nodes']}",
+            str(record["slices"])])
+    return format_table(headers, rows)
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _csv_names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Batch experiment runner: fan a declarative sweep "
+                    "spec (models x sizes x methods x backends x "
+                    "strategies) over a process pool with resumable "
+                    "JSON/CSV artifacts.")
+    parser.add_argument("--spec", help="JSON sweep spec file (see "
+                                       "SweepSpec.from_dict)")
+    parser.add_argument("--name", default="sweep",
+                        help="sweep name (artifact file stem)")
+    parser.add_argument("--models", type=_csv_names, default=[],
+                        help="comma-separated model names (axes mode)")
+    parser.add_argument("--sizes", type=_csv_ints, default=[],
+                        help="comma-separated qubit counts (axes mode)")
+    parser.add_argument("--methods", type=_csv_names,
+                        default=["contraction"])
+    parser.add_argument("--backends", type=_csv_names, default=["tdd"])
+    parser.add_argument("--strategies", type=_csv_names,
+                        default=["monolithic"])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent configurations (process pool)")
+    parser.add_argument("--out", default=None,
+                        help="artifact directory (JSON + CSV; enables "
+                             "resume)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="ignore existing artifacts, recompute all")
+    args = parser.parse_args(argv)
+
+    if args.spec:
+        spec = SweepSpec.from_json_file(args.spec)
+    elif args.models and args.sizes:
+        spec = SweepSpec.from_axes(
+            args.name, args.models, args.sizes, methods=args.methods,
+            backends=args.backends, strategies=args.strategies,
+            method_params={"contraction": {"k1": 4, "k2": 4},
+                           "addition": {"k": 1},
+                           "hybrid": {"k": 1, "k1": 4, "k2": 4}})
+    else:
+        parser.error("provide --spec FILE, or --models and --sizes")
+
+    result = run_sweep(spec, jobs=args.jobs, out_dir=args.out,
+                       resume=not args.no_resume, progress=print)
+    print(f"Sweep {spec.name!r}: {len(result.records)} runs "
+          f"({result.skipped} resumed, {len(result.failed)} failed)")
+    print(format_records(result.records))
+    if result.json_path:
+        print(f"artifacts: {result.json_path}, {result.csv_path}")
+    return 1 if result.failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -8,6 +8,10 @@ k1 = k2 = 4) at sizes scaled to interpreter speed.  Pass
 ``--scale paper`` to attempt the paper's original sizes for the
 families where pure Python can reach them (GHZ/BV under contraction).
 
+The grid itself is a :mod:`repro.bench.sweep` spec; ``--jobs N`` fans
+the cells over a process pool and ``--out DIR`` makes the run
+resumable (JSON/CSV artifacts).
+
 Run:  ``python -m repro.bench.table1 [--scale small|medium|paper]``
 """
 
@@ -17,8 +21,8 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.bench.runner import BenchRow, run_image_benchmark
-from repro.systems import models
+from repro.bench.runner import BenchRow
+from repro.bench.sweep import RunSpec, SweepSpec, run_sweep
 from repro.utils.tables import format_table
 
 #: method name -> image-computation parameters (the Table I settings)
@@ -28,63 +32,80 @@ TABLE1_METHODS: Dict[str, dict] = {
     "contraction": {"k1": 4, "k2": 4},
 }
 
-#: family -> (builder from size, sizes per scale, methods to skip by size)
-#: ``None`` in a skip entry means "run every method at this size".
-FamilySpec = Tuple[Callable[[int], object], Dict[str, List[int]],
+#: family -> ((model name, model params), sizes per scale, method skip)
+#: Grover runs two composed iterations — the regime where the
+#: monolithic operator TDD grows and the partition methods pay off
+#: (EXPERIMENTS.md); QRW runs four composed walk steps.
+FamilySpec = Tuple[Tuple[str, dict], Dict[str, List[int]],
                    Callable[[str, int], bool]]
-
-
-def _grover(n: int):
-    # two composed iterations: the regime where the monolithic operator
-    # TDD grows and the partition methods pay off (EXPERIMENTS.md)
-    return models.grover_qts(n, iterations=2)
-
-
-def _qrw(n: int):
-    return models.qrw_qts(n, 0.1, steps=4)
-
-
-def _skip_never(method: str, size: int) -> bool:
-    return False
-
 
 FAMILIES: Dict[str, FamilySpec] = {
     "Grover": (
-        _grover,
+        ("grover", {"iterations": 2}),
         {"small": [6, 8], "medium": [6, 8, 9], "paper": [15, 18, 20, 40]},
         lambda method, size: method != "contraction" and size > 9,
     ),
     "QFT": (
-        models.qft_qts,
+        ("qft", {}),
         {"small": [8, 10], "medium": [8, 10, 12, 16, 20],
          "paper": [15, 18, 20, 30, 50, 100]},
         lambda method, size: method != "contraction" and size > 12,
     ),
     "BV": (
-        models.bv_qts,
+        ("bv", {}),
         {"small": [20, 40], "medium": [20, 40, 60, 100],
          "paper": [100, 200, 300, 400, 500]},
         lambda method, size: method != "contraction" and size > 100,
     ),
     "GHZ": (
-        models.ghz_qts,
+        ("ghz", {}),
         {"small": [20, 40], "medium": [20, 40, 60, 100],
          "paper": [100, 200, 300, 400, 500]},
         lambda method, size: method != "contraction" and size > 100,
     ),
     "QRW": (
-        _qrw,
+        ("qrw", {"noise_probability": 0.1, "steps": 4}),
         {"small": [5, 6], "medium": [5, 6, 7, 8], "paper": [15, 18, 20, 30]},
         lambda method, size: method != "contraction" and size > 8,
     ),
 }
 
 
+def table1_spec(scale: str = "small",
+                families: Optional[List[str]] = None,
+                strategy: str = "monolithic") -> SweepSpec:
+    """The Table I grid as a sweep spec (skipped cells excluded)."""
+    runs: List[RunSpec] = []
+    for family, ((model, model_params), size_map, skip) in FAMILIES.items():
+        if families and family not in families:
+            continue
+        for size in size_map[scale]:
+            for method, params in TABLE1_METHODS.items():
+                if skip(method, size):
+                    continue
+                runs.append(RunSpec(
+                    model=model, size=size, method=method,
+                    strategy=strategy, method_params=dict(params),
+                    model_params=dict(model_params),
+                    label=f"{family}{size}"))
+    return SweepSpec(name=f"table1-{scale}", runs=runs)
+
+
 def table1_rows(scale: str = "small",
-                families: Optional[List[str]] = None) -> List[BenchRow]:
-    """Run the Table I grid and return one row per (family-size, method)."""
+                families: Optional[List[str]] = None,
+                jobs: int = 1,
+                out_dir: Optional[str] = None,
+                strategy: str = "monolithic") -> List[BenchRow]:
+    """Run the Table I grid and return one row per (family-size, method).
+
+    Cells the skip rule excludes still appear (as timed-out dashes) so
+    the printed table keeps the paper's layout.
+    """
+    spec = table1_spec(scale, families, strategy)
+    result = run_sweep(spec, jobs=jobs, out_dir=out_dir)
+    by_id = {record["run_id"]: record for record in result.records}
     rows: List[BenchRow] = []
-    for family, (builder, size_map, skip) in FAMILIES.items():
+    for family, ((model, model_params), size_map, skip) in FAMILIES.items():
         if families and family not in families:
             continue
         for size in size_map[scale]:
@@ -94,8 +115,12 @@ def table1_rows(scale: str = "small",
                     rows.append(BenchRow(label, method, 0.0, 0, 0,
                                          timed_out=True))
                     continue
-                rows.append(run_image_benchmark(
-                    lambda n=size: builder(n), label, method, **params))
+                run = RunSpec(model=model, size=size, method=method,
+                              strategy=strategy,
+                              method_params=dict(params),
+                              model_params=dict(model_params),
+                              label=label)
+                rows.append(BenchRow.from_record(by_id[run.run_id]))
     return rows
 
 
@@ -132,8 +157,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--family", action="append",
                         choices=sorted(FAMILIES),
                         help="restrict to a family (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent grid cells (process pool)")
+    parser.add_argument("--out", default=None,
+                        help="artifact directory (resumable)")
     args = parser.parse_args(argv)
-    rows = table1_rows(args.scale, args.family)
+    rows = table1_rows(args.scale, args.family, jobs=args.jobs,
+                       out_dir=args.out)
     print("Table I (reproduction) — image computation: time [s], max TDD "
           "nodes, cache hit rate, post-GC/peak live nodes")
     print(format_rows(rows))

@@ -5,6 +5,9 @@ computation time per cell, showing a wide plateau of good parameters
 with degradation only when both get large.  This harness runs the same
 sweep on a Grover instance sized for pure Python.
 
+The k1 x k2 grid is a :mod:`repro.bench.sweep` spec; ``--jobs N`` fans
+the cells over a process pool, ``--out DIR`` makes the grid resumable.
+
 Run:  ``python -m repro.bench.table2 [--qubits 8] [--kmax 8]``
 """
 
@@ -14,28 +17,35 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.image.engine import compute_image
-from repro.systems import models
+from repro.bench.sweep import RunSpec, SweepSpec, run_sweep
 from repro.utils.tables import format_table
 
 
-def sweep_stats(num_qubits: int = 8, kmax: int = 8,
-                iterations: int = 2) -> List[List[dict]]:
-    """``result[k1-1][k2-1]`` = stats dict for contraction(k1, k2).
+def table2_spec(num_qubits: int = 8, kmax: int = 8,
+                iterations: int = 2) -> SweepSpec:
+    """The k1 x k2 contraction grid as a sweep spec (row-major)."""
+    runs = [RunSpec(model="grover", size=num_qubits, method="contraction",
+                    method_params={"k1": k1, "k2": k2},
+                    model_params={"iterations": iterations},
+                    label=f"k{k1}x{k2}")
+            for k1 in range(1, kmax + 1)
+            for k2 in range(1, kmax + 1)]
+    return SweepSpec(name=f"table2-grover{num_qubits}", runs=runs)
 
-    Each cell is :meth:`StatsRecorder.as_dict` output — seconds plus
-    the cache hit rate and peak/post-GC live node counts.
+
+def sweep_stats(num_qubits: int = 8, kmax: int = 8,
+                iterations: int = 2, jobs: int = 1,
+                out_dir: Optional[str] = None) -> List[List[dict]]:
+    """``result[k1-1][k2-1]`` = stats record for contraction(k1, k2).
+
+    Each cell is a :mod:`repro.bench.sweep` record — seconds plus the
+    cache hit rate and peak/post-GC live node counts.
     """
-    grid: List[List[dict]] = []
-    for k1 in range(1, kmax + 1):
-        row: List[dict] = []
-        for k2 in range(1, kmax + 1):
-            qts = models.grover_qts(num_qubits, iterations=iterations)
-            result = compute_image(qts, method="contraction",
-                                   k1=k1, k2=k2)
-            row.append(result.stats.as_dict())
-        grid.append(row)
-    return grid
+    spec = table2_spec(num_qubits, kmax, iterations)
+    result = run_sweep(spec, jobs=jobs, out_dir=out_dir)
+    records = result.records  # spec order == row-major grid order
+    return [records[(k1 - 1) * kmax:k1 * kmax]
+            for k1 in range(1, kmax + 1)]
 
 
 def sweep(num_qubits: int = 8, kmax: int = 8,
@@ -73,8 +83,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--qubits", type=int, default=8)
     parser.add_argument("--kmax", type=int, default=8)
     parser.add_argument("--iterations", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="concurrent grid cells (process pool)")
+    parser.add_argument("--out", default=None,
+                        help="artifact directory (resumable)")
     args = parser.parse_args(argv)
-    grid = sweep_stats(args.qubits, args.kmax, args.iterations)
+    grid = sweep_stats(args.qubits, args.kmax, args.iterations,
+                       jobs=args.jobs, out_dir=args.out)
     print(f"Table II (reproduction) — contraction partition: time [s] "
           f"(cache hit rate, post-GC/peak live nodes), "
           f"Grover {args.qubits} x{args.iterations} iterations")

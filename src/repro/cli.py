@@ -6,20 +6,27 @@ Subcommands:
 * ``reach``  — reachability fixpoint,
 * ``invariant`` — check ``T(S0) <= S0`` (``--strict`` for equality),
 * ``crosscheck`` — compare the tdd and dense backends on one image,
+* ``sweep``  — batch experiment runner (declarative spec, process-pool
+  fan-out, resumable JSON/CSV artifacts),
 * ``table1`` / ``table2`` / ``smoke`` — forward to the benchmark
-  harnesses.
+  harnesses (all thin wrappers over the sweep runner).
 
-``image`` and ``reach`` accept ``--backend {tdd,dense}`` (the dense
-statevector reference is exponential — small sizes only) and report the
-kernel instrumentation: cache hit rate and post-GC/peak live nodes.
+``image``, ``reach`` and ``invariant`` accept ``--backend {tdd,dense}``
+(the dense statevector reference is exponential — small sizes only) and
+``--strategy {monolithic,sliced}`` with ``--jobs N`` (parallel cofactor
+contraction, see ``repro.image.sliced``), and report the kernel
+instrumentation: cache hit rate and post-GC/peak live nodes.
 
 Examples::
 
     python -m repro image grover --size 4 --method contraction
+    python -m repro image qrw --size 5 --strategy sliced --jobs 4
     python -m repro reach qrw --size 4 --frontier
     python -m repro image ghz --size 3 --backend dense
     python -m repro crosscheck grover --size 4
     python -m repro invariant grover --size 4 --initial invariant
+    python -m repro sweep --models ghz,bv --sizes 3,4 --methods basic \\
+        --jobs 2 --out results
     python -m repro table1 --scale small
 """
 
@@ -29,23 +36,28 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
 from repro.mc.backends import BACKENDS, cross_validate, make_backend
 from repro.mc.invariants import invariant_holds
 from repro.systems import models
 
-#: model name -> builder(size, args)
+#: model name -> builder(size, args); argparse options map onto the
+#: keyword arguments of models.build_model
 _MODELS: Dict[str, Callable] = {
-    "ghz": lambda size, args: models.ghz_qts(size),
-    "grover": lambda size, args: models.grover_qts(
-        size, initial=args.initial, iterations=args.iterations),
-    "bv": lambda size, args: models.bv_qts(size),
-    "qft": lambda size, args: models.qft_qts(size),
-    "qrw": lambda size, args: models.qrw_qts(
-        size, args.noise, steps=args.steps),
-    "bitflip": lambda size, args: models.bitflip_qts(),
-    "qpe": lambda size, args: models.qpe_qts(size, args.phase),
-    "wstate": lambda size, args: models.w_state_qts(size),
-    "hiddenshift": lambda size, args: models.hidden_shift_qts(size),
+    "ghz": lambda size, args: models.build_model("ghz", size),
+    "grover": lambda size, args: models.build_model(
+        "grover", size, initial=args.initial, iterations=args.iterations),
+    "bv": lambda size, args: models.build_model("bv", size),
+    "qft": lambda size, args: models.build_model("qft", size),
+    "qrw": lambda size, args: models.build_model(
+        "qrw", size, noise_probability=args.noise, steps=args.steps),
+    "bitflip": lambda size, args: models.build_model("bitflip", size),
+    "qpe": lambda size, args: models.build_model("qpe", size,
+                                                 phase=args.phase),
+    "wstate": lambda size, args: models.build_model("wstate", size),
+    "adder": lambda size, args: models.build_model("adder", size),
+    "hiddenshift": lambda size, args: models.build_model("hiddenshift",
+                                                         size),
 }
 
 
@@ -80,6 +92,20 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
                              "statevector reference, small sizes only)")
 
 
+def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--strategy", default="monolithic",
+                        choices=list(STRATEGIES),
+                        help="contraction execution strategy (sliced = "
+                             "parallel cofactor decomposition)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sliced-strategy worker pool width "
+                             "(default: run cofactors inline)")
+    parser.add_argument("--slice-depth", type=int,
+                        default=DEFAULT_SLICE_DEPTH, dest="slice_depth",
+                        help="number of top summed index levels the "
+                             "sliced strategy fixes (2^depth cofactors)")
+
+
 def _method_params(args) -> dict:
     if args.method == "addition":
         return {"k": args.k}
@@ -95,8 +121,11 @@ def _build(args):
 
 
 def _make_backend(args):
-    # make_backend drops tdd-only method params for non-tdd backends
+    # make_backend drops tdd-only method/strategy params for non-tdd
+    # backends
     return make_backend(args.backend, method=args.method,
+                        strategy=args.strategy, jobs=args.jobs,
+                        slice_depth=args.slice_depth,
                         **_method_params(args))
 
 
@@ -109,14 +138,21 @@ def _print_kernel_stats(stats) -> None:
     print(f"live nodes = {stats.live_nodes} after GC "
           f"(peak {stats.peak_live_nodes}, "
           f"reclaimed {stats.nodes_reclaimed})")
+    if stats.slices:
+        print(f"slices     = {stats.slices} cofactors "
+              f"({stats.parallel_tasks} on the worker pool)")
 
 
 def _engine_label(args, frontier: bool = False) -> str:
-    # the dense reference ignores method/frontier — don't print them as
-    # if they took effect
+    # the dense reference ignores method/strategy/frontier — don't
+    # print them as if they took effect
     if args.backend != "tdd":
         return f"backend={args.backend}"
     label = f"method={args.method} backend=tdd"
+    if args.strategy != "monolithic":
+        label += f" strategy={args.strategy}"
+        if args.jobs:
+            label += f" jobs={args.jobs}"
     if frontier:
         label += f" frontier={args.frontier}"
     return label
@@ -177,17 +213,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     image = sub.add_parser("image", help="one-step image computation")
     _add_model_arguments(image)
     _add_backend_argument(image)
+    _add_strategy_arguments(image)
     image.set_defaults(func=_cmd_image)
 
     reach = sub.add_parser("reach", help="reachability fixpoint")
     _add_model_arguments(reach)
     _add_backend_argument(reach)
+    _add_strategy_arguments(reach)
     reach.add_argument("--frontier", action="store_true")
     reach.set_defaults(func=_cmd_reach)
 
     invariant = sub.add_parser("invariant", help="check T(S0) <= S0")
     _add_model_arguments(invariant)
     _add_backend_argument(invariant)
+    _add_strategy_arguments(invariant)
     invariant.add_argument("--strict", action="store_true")
     invariant.set_defaults(func=_cmd_invariant)
 
@@ -196,27 +235,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_model_arguments(crosscheck)
     crosscheck.set_defaults(func=_cmd_crosscheck)
 
+    sweep = sub.add_parser(
+        "sweep", help="batch experiment runner (resumable, parallel)")
+    sweep.set_defaults(func=lambda args: __import__(
+        "repro.bench.sweep", fromlist=["main"]).main(args.sweep_args))
+
     table1 = sub.add_parser("table1", help="regenerate Table I")
     table1.add_argument("--scale", default="small",
                         choices=["small", "medium", "paper"])
+    table1.add_argument("--jobs", type=int, default=1)
+    table1.add_argument("--out", default=None)
     table1.set_defaults(func=lambda args: __import__(
         "repro.bench.table1", fromlist=["main"]).main(
-            ["--scale", args.scale]))
+            ["--scale", args.scale, "--jobs", str(args.jobs)]
+            + (["--out", args.out] if args.out else [])))
 
     table2 = sub.add_parser("table2", help="regenerate Table II")
     table2.add_argument("--qubits", type=int, default=7)
     table2.add_argument("--kmax", type=int, default=6)
+    table2.add_argument("--jobs", type=int, default=1)
+    table2.add_argument("--out", default=None)
     table2.set_defaults(func=lambda args: __import__(
         "repro.bench.table2", fromlist=["main"]).main(
-            ["--qubits", str(args.qubits), "--kmax", str(args.kmax)]))
+            ["--qubits", str(args.qubits), "--kmax", str(args.kmax),
+             "--jobs", str(args.jobs)]
+            + (["--out", args.out] if args.out else [])))
 
     smoke = sub.add_parser("smoke", help="run the <60s smoke benchmark")
     smoke.add_argument("--model", default="grover")
     smoke.add_argument("--size", type=int, default=6)
+    smoke.add_argument("--strategy", default="monolithic",
+                       choices=list(STRATEGIES))
+    smoke.add_argument("--jobs", type=int, default=None)
     smoke.set_defaults(func=lambda args: __import__(
         "repro.bench.smoke", fromlist=["main"]).main(
-            ["--model", args.model, "--size", str(args.size)]))
+            ["--model", args.model, "--size", str(args.size),
+             "--strategy", args.strategy]
+            + (["--jobs", str(args.jobs)] if args.jobs else [])))
 
+    # ``sweep`` forwards its whole tail to the sweep module's own parser
+    # so the spec/axes flags live in one place
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        args = parser.parse_args(["sweep"])
+        args.sweep_args = list(argv[1:])
+        return args.func(args)
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -1,6 +1,6 @@
 """Image computation for quantum transition systems (paper, Sections IV-V).
 
-Three interchangeable algorithms:
+Four interchangeable algorithms (the *method* axis):
 
 * :class:`~repro.image.basic.BasicImageComputer` — Algorithm 1:
   contract each Kraus circuit into one monolithic operator TDD, apply
@@ -12,9 +12,17 @@ Three interchangeable algorithms:
   V.B: cut the circuit into blocks of at most k1 qubits and at most k2
   crossing multi-qubit gates per column, contract each block into a
   small TDD, and contract the state through the block network.
+* :class:`~repro.image.hybrid.HybridImageComputer` — addition slicing
+  over contraction-partitioned blocks (extension beyond the paper).
 
-Use :func:`~repro.image.engine.compute_image` for a uniform entry
-point.
+Orthogonal to the method, the execution *strategy*
+(:mod:`repro.image.sliced`) decides how the underlying contractions
+run: ``monolithic`` (sequential) or ``sliced`` (parallel cofactor
+decomposition over a process pool).
+
+Use :func:`~repro.image.engine.compute_image` for a one-shot entry
+point, or :class:`~repro.image.engine.ImageEngine` to hold the method
+computer and strategy pool across calls.
 """
 
 from repro.image.base import ImageResult
@@ -22,10 +30,14 @@ from repro.image.basic import BasicImageComputer
 from repro.image.addition import AdditionImageComputer
 from repro.image.contraction import ContractionImageComputer
 from repro.image.hybrid import HybridImageComputer
-from repro.image.engine import compute_image, make_computer, METHODS
+from repro.image.engine import (ImageEngine, compute_image, make_computer,
+                                METHODS)
+from repro.image.sliced import (MonolithicExecutor, SlicedExecutor,
+                                STRATEGIES, make_executor)
 
 __all__ = [
     "ImageResult", "BasicImageComputer", "AdditionImageComputer",
     "ContractionImageComputer", "HybridImageComputer",
-    "compute_image", "make_computer", "METHODS",
+    "ImageEngine", "compute_image", "make_computer", "METHODS",
+    "MonolithicExecutor", "SlicedExecutor", "STRATEGIES", "make_executor",
 ]

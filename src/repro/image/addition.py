@@ -85,7 +85,8 @@ class AdditionImageComputer(ImageComputerBase):
             sum_over = input_sum_indices(inputs, outputs)
             total = None
             for part in parts:
-                contribution = state.contract(part, sum_over)
+                contribution = self.executor.contract(state, part, sum_over,
+                                                      stats)
                 stats.contractions += 1
                 stats.observe_tdd(contribution)
                 total = (contribution if total is None

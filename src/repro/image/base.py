@@ -54,12 +54,22 @@ def input_sum_indices(inputs: Sequence[Index],
 
 
 class ImageComputerBase:
-    """Common state for the three algorithms: system + per-circuit caches."""
+    """Common state for the four algorithms: system + per-circuit caches.
+
+    Every computer routes its transition-relation contractions through
+    ``self.executor`` (monolithic in-process by default; the engine
+    swaps in a :class:`~repro.image.sliced.SlicedExecutor` when the
+    sliced strategy is selected), so parallel sliced execution composes
+    with each algorithm without touching its partitioning logic.
+    """
 
     method: str = "abstract"
 
     def __init__(self, qts: QuantumTransitionSystem) -> None:
+        from repro.image.sliced import MonolithicExecutor
         self.qts = qts
+        #: pluggable contraction executor (see :mod:`repro.image.sliced`)
+        self.executor = MonolithicExecutor()
 
     def image(self, subspace: Optional[Subspace] = None,
               stats: Optional[StatsRecorder] = None) -> ImageResult:

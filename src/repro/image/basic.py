@@ -51,7 +51,8 @@ class BasicImageComputer(ImageComputerBase):
         for circuit in self.qts.all_kraus_circuits():
             operator, inputs, outputs = self.operator_for(circuit, stats)
             sum_over = input_sum_indices(inputs, outputs)
-            image_state = state.contract(operator, sum_over)
+            image_state = self.executor.contract(state, operator, sum_over,
+                                                 stats)
             stats.contractions += 1
             stats.observe_tdd(image_state)
             yield rename_outputs_to_kets(self.qts.space, image_state,

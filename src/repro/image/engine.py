@@ -1,4 +1,20 @@
-"""Uniform entry point for the three image computation methods."""
+"""Uniform entry point for image computation.
+
+Two orthogonal choices select how an image ``T(S)`` is computed:
+
+* the **method** — which of the paper's four algorithms partitions the
+  transition relation (``basic``, ``addition``, ``contraction``,
+  ``hybrid``), and
+* the **strategy** — how the resulting contractions execute:
+  ``monolithic`` (sequential, in-process) or ``sliced`` (cofactor
+  decomposition along top summed index levels, optionally fanned out
+  over a process pool — see :mod:`repro.image.sliced`).
+
+:class:`ImageEngine` bundles a method computer with an execution
+strategy and owns the strategy's worker-pool lifecycle; the
+module-level :func:`compute_image` remains the one-shot convenience
+wrapper used throughout the benchmarks and the CLI.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +26,8 @@ from repro.image.base import ImageComputerBase, ImageResult
 from repro.image.basic import BasicImageComputer
 from repro.image.contraction import ContractionImageComputer
 from repro.image.hybrid import HybridImageComputer
+from repro.image.sliced import (DEFAULT_SLICE_DEPTH, STRATEGIES,
+                                make_executor)
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.utils.stats import StatsRecorder
@@ -23,7 +41,7 @@ def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
     """Instantiate an image computer by method name.
 
     ``params``: ``k`` for addition, ``k1``/``k2``/``order_policy`` for
-    contraction.
+    contraction, all of them for hybrid.
     """
     if method == "basic":
         if params:
@@ -40,25 +58,88 @@ def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
                      f"choose from {METHODS}")
 
 
+class ImageEngine:
+    """An image computer bound to an execution strategy.
+
+    The engine wires a :class:`~repro.image.sliced` executor into the
+    chosen method's computer and owns the executor's process pool; use
+    it as a context manager (or call :meth:`close`) when
+    ``strategy="sliced"`` with ``jobs > 1`` so workers are reaped
+    deterministically.  Reusing one engine across calls reuses the
+    computer's cached operator diagrams *and* the executor's cofactor
+    slices — the intended shape for reachability fixpoints and sweeps.
+    """
+
+    def __init__(self, qts: QuantumTransitionSystem,
+                 method: str = "basic",
+                 strategy: str = "monolithic",
+                 jobs: Optional[int] = None,
+                 slice_depth: int = DEFAULT_SLICE_DEPTH,
+                 **params) -> None:
+        if strategy not in STRATEGIES:
+            raise ReproError(f"unknown strategy {strategy!r}; "
+                             f"choose from {STRATEGIES}")
+        self.qts = qts
+        self.method = method
+        self.strategy = strategy
+        self.jobs = jobs
+        self.slice_depth = slice_depth
+        self.computer = make_computer(qts, method, **params)
+        self.computer.executor = make_executor(
+            strategy, qts.manager, jobs=jobs, slice_depth=slice_depth)
+
+    @property
+    def executor(self):
+        return self.computer.executor
+
+    # ------------------------------------------------------------------
+    def compute_image(self, subspace: Optional[Subspace] = None,
+                      gc: bool = True) -> ImageResult:
+        """Compute ``T(S)`` and record the full kernel cost profile."""
+        stats = StatsRecorder()
+        if self.strategy != "monolithic":
+            stats.extra["strategy"] = self.strategy
+        manager = self.qts.manager
+        baseline = manager.cache_counters()
+        watch = Stopwatch().start()
+        result = self.computer.image(subspace, stats)
+        stats.seconds = watch.stop()
+        if gc:
+            manager.collect()
+        stats.record_manager(manager, baseline)
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the strategy's worker pool (idempotent)."""
+        self.computer.executor.close()
+
+    def __enter__(self) -> "ImageEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ImageEngine(method={self.method!r}, "
+                f"strategy={self.strategy!r}, jobs={self.jobs})")
+
+
 def compute_image(qts: QuantumTransitionSystem,
                   subspace: Optional[Subspace] = None,
                   method: str = "basic", gc: bool = True,
+                  strategy: str = "monolithic",
+                  jobs: Optional[int] = None,
+                  slice_depth: int = DEFAULT_SLICE_DEPTH,
                   **params) -> ImageResult:
-    """Compute ``T(S)`` and record the full kernel cost profile.
+    """One-shot ``T(S)`` with run statistics.
 
     The returned :class:`ImageResult` stats carry wall time, peak TDD
-    node count, operation-cache hit/miss counts for this run, and —
+    node count, operation-cache hit/miss counts for this run, sliced
+    strategy counters (cofactors executed / shipped to the pool) and —
     after the post-run garbage collection (skipped with ``gc=False``) —
     the peak and surviving live-node populations of the manager.
     """
-    computer = make_computer(qts, method, **params)
-    stats = StatsRecorder()
-    manager = qts.manager
-    baseline = manager.cache_counters()
-    watch = Stopwatch().start()
-    result = computer.image(subspace, stats)
-    stats.seconds = watch.stop()
-    if gc:
-        manager.collect()
-    stats.record_manager(manager, baseline)
-    return result
+    with ImageEngine(qts, method, strategy=strategy, jobs=jobs,
+                     slice_depth=slice_depth, **params) as engine:
+        return engine.compute_image(subspace, gc=gc)

@@ -26,6 +26,7 @@ from typing import Optional, Protocol
 from repro.errors import ReproError
 from repro.image.base import ImageResult
 from repro.image.engine import METHODS, compute_image
+from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
 from repro.mc.reachability import ReachabilityTrace, reachable_space
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
@@ -57,20 +58,38 @@ class Backend(Protocol):
 
 
 class TDDBackend:
-    """The symbolic backend: delegates to the image/mc engine."""
+    """The symbolic backend: delegates to the image/mc engine.
+
+    ``strategy`` / ``jobs`` / ``slice_depth`` select the execution
+    strategy of :mod:`repro.image.sliced` (monolithic sequential
+    contraction vs. parallel cofactor slicing); the remaining params
+    are the method parameters (``k``, ``k1``, ``k2``, ...).
+    """
 
     name = "tdd"
 
-    def __init__(self, method: str = "contraction", **params) -> None:
+    def __init__(self, method: str = "contraction",
+                 strategy: str = "monolithic",
+                 jobs: Optional[int] = None,
+                 slice_depth: int = DEFAULT_SLICE_DEPTH,
+                 **params) -> None:
         if method not in METHODS:
             raise ReproError(f"unknown image method {method!r}; "
                              f"choose from {METHODS}")
+        if strategy not in STRATEGIES:
+            raise ReproError(f"unknown strategy {strategy!r}; "
+                             f"choose from {STRATEGIES}")
         self.method = method
+        self.strategy = strategy
+        self.jobs = jobs
+        self.slice_depth = slice_depth
         self.params = dict(params)
 
     def compute_image(self, qts: QuantumTransitionSystem,
                       subspace: Optional[Subspace] = None) -> ImageResult:
-        return compute_image(qts, subspace, self.method, **self.params)
+        return compute_image(qts, subspace, self.method,
+                             strategy=self.strategy, jobs=self.jobs,
+                             slice_depth=self.slice_depth, **self.params)
 
     def reachable(self, qts: QuantumTransitionSystem,
                   initial: Optional[Subspace] = None,
@@ -78,10 +97,13 @@ class TDDBackend:
                   frontier: bool = False) -> ReachabilityTrace:
         return reachable_space(qts, self.method, initial=initial,
                                max_iterations=max_iterations,
-                               frontier=frontier, **self.params)
+                               frontier=frontier, strategy=self.strategy,
+                               jobs=self.jobs, slice_depth=self.slice_depth,
+                               **self.params)
 
     def __repr__(self) -> str:
-        return f"TDDBackend(method={self.method!r})"
+        return (f"TDDBackend(method={self.method!r}, "
+                f"strategy={self.strategy!r})")
 
 
 class DenseStatevectorBackend:
@@ -179,7 +201,8 @@ class DenseStatevectorBackend:
 
 #: parameters that only concern one backend; each backend tolerates the
 #: other's so swapping ``backend=`` is a drop-in change
-_TDD_ONLY_PARAMS = frozenset({"k", "k1", "k2", "order_policy"})
+_TDD_ONLY_PARAMS = frozenset({"k", "k1", "k2", "order_policy",
+                              "strategy", "jobs", "slice_depth"})
 _DENSE_ONLY_PARAMS = frozenset({"max_qubits"})
 
 

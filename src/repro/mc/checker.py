@@ -5,8 +5,16 @@ the dense statevector reference, see :mod:`repro.mc.backends`) and
 exposes the checks a user actually runs: one-step images, reachability,
 invariance and safety — plus :meth:`cross_validate`, which replays an
 image on the dense backend to corroborate the symbolic result on small
-instances.  This is the top of the public API — see
-``examples/quickstart.py``.
+instances.
+
+The symbolic backend is configured along two orthogonal axes: the
+image *method* (``basic`` / ``addition`` / ``contraction`` /
+``hybrid`` — how the transition relation is partitioned, all running
+on the iterative apply kernel) and the execution *strategy*
+(``monolithic`` / ``sliced`` — whether contractions run sequentially
+in-process or as parallel cofactor subproblems on a worker pool, see
+:mod:`repro.image.sliced`).  This is the top of the public API — see
+``examples/quickstart.py`` and ``examples/parallel_sweep.py``.
 """
 
 from __future__ import annotations
@@ -26,11 +34,16 @@ class ModelChecker:
 
     def __init__(self, qts: QuantumTransitionSystem,
                  method: str = "contraction",
-                 backend: str = "tdd", **params) -> None:
+                 backend: str = "tdd",
+                 strategy: str = "monolithic",
+                 jobs: Optional[int] = None, **params) -> None:
         self.qts = qts
         self.method = method
+        self.strategy = strategy
+        self.jobs = jobs
         self.params = dict(params)
-        self.backend = make_backend(backend, method=method, **params)
+        self.backend = make_backend(backend, method=method,
+                                    strategy=strategy, jobs=jobs, **params)
 
     # ------------------------------------------------------------------
     def image(self, subspace: Optional[Subspace] = None) -> ImageResult:

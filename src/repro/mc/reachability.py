@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.errors import ReproError
-from repro.image.engine import make_computer
+from repro.image.engine import ImageEngine
+from repro.image.sliced import DEFAULT_SLICE_DEPTH
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.utils.stats import StatsRecorder
@@ -42,13 +43,19 @@ def reachable_space(qts: QuantumTransitionSystem,
                     max_iterations: int = 0,
                     frontier: bool = False,
                     gc: bool = True,
+                    strategy: str = "monolithic",
+                    jobs: Optional[int] = None,
+                    slice_depth: int = DEFAULT_SLICE_DEPTH,
                     **params) -> ReachabilityTrace:
     """Compute the reachable subspace of ``qts``.
 
     ``max_iterations`` bounds the fixpoint loop (0 = until the
     dimension saturates, which needs at most ``2^n`` rounds).  The
     image computer (and therefore its cached transition TDDs) is
-    reused across iterations.
+    reused across iterations, as is the execution strategy's worker
+    pool and cofactor-slice cache when ``strategy="sliced"`` (see
+    :mod:`repro.image.sliced`; ``jobs`` sets the pool width,
+    ``slice_depth`` the number of top summed levels to fix).
 
     ``frontier=True`` switches to frontier-set iteration, the classic
     symbolic-model-checking refinement: each round only computes the
@@ -65,38 +72,46 @@ def reachable_space(qts: QuantumTransitionSystem,
     long fixpoints.  The trace stats report the cache hit/miss deltas
     and GC activity of the whole run.
     """
-    computer = make_computer(qts, method, **params)
+    engine = ImageEngine(qts, method, strategy=strategy, jobs=jobs,
+                         slice_depth=slice_depth, **params)
+    computer = engine.computer
     current = initial if initial is not None else qts.initial
     if current.dimension == 0:
+        engine.close()
         raise ReproError("reachability from the zero subspace is trivial; "
                          "set an initial space first")
     trace = ReachabilityTrace(subspace=current, dimensions=[current.dimension])
+    if strategy != "monolithic":
+        trace.stats.extra["strategy"] = strategy
     limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
     manager = qts.manager
     baseline = manager.cache_counters()
     watch = Stopwatch().start()
     frontier_space = current
-    for _ in range(limit):
-        source = frontier_space if frontier else current
-        step = computer.image(source, trace.stats)
-        grown = current.join(step.subspace)
-        trace.iterations += 1
-        trace.dimensions.append(grown.dimension)
-        if grown.dimension == current.dimension:
+    try:
+        for _ in range(limit):
+            source = frontier_space if frontier else current
+            step = computer.image(source, trace.stats)
+            grown = current.join(step.subspace)
+            trace.iterations += 1
+            trace.dimensions.append(grown.dimension)
+            if grown.dimension == current.dimension:
+                trace.subspace = grown
+                break
+            if frontier:
+                # the new frontier: basis vectors Gram-Schmidt added beyond
+                # the previous space (they are orthogonal to it by
+                # construction of Subspace.join)
+                new_vectors = grown.basis[current.dimension:]
+                frontier_space = qts.space.span(new_vectors)
+            current = grown
             trace.subspace = grown
-            break
-        if frontier:
-            # the new frontier: basis vectors Gram-Schmidt added beyond
-            # the previous space (they are orthogonal to it by
-            # construction of Subspace.join)
-            new_vectors = grown.basis[current.dimension:]
-            frontier_space = qts.space.span(new_vectors)
-        current = grown
-        trace.subspace = grown
-        if gc:
-            manager.collect()
-    else:
-        trace.converged = False
+            if gc:
+                manager.collect()
+        else:
+            trace.converged = False
+    finally:
+        engine.close()
     trace.stats.seconds = watch.stop()
     if gc:
         manager.collect()

@@ -191,3 +191,38 @@ def bitflip_qts() -> QuantumTransitionSystem:
         [0, 0, 1, 0, 0, 0],
     ])
     return qts
+
+
+# ----------------------------------------------------------------------
+# uniform builder registry (CLI, sweep runner)
+# ----------------------------------------------------------------------
+#: model name -> builder; every builder takes (size, **options)
+MODEL_BUILDERS = {
+    "ghz": lambda size, **opts: ghz_qts(size, **opts),
+    "grover": lambda size, **opts: grover_qts(size, **opts),
+    "bv": lambda size, **opts: bv_qts(size, **opts),
+    "qft": lambda size, **opts: qft_qts(size, **opts),
+    "qrw": lambda size, **opts: qrw_qts(size, **opts),
+    "qpe": lambda size, **opts: qpe_qts(size, **opts),
+    "wstate": lambda size, **opts: w_state_qts(size, **opts),
+    "adder": lambda size, **opts: adder_qts(size, **opts),
+    "hiddenshift": lambda size, **opts: hidden_shift_qts(size, **opts),
+    "bitflip": lambda size, **opts: bitflip_qts(**opts),
+}
+
+
+def build_model(name: str, size: int, **options) -> QuantumTransitionSystem:
+    """Build a benchmark QTS by name — the single entry point shared by
+    the CLI and the sweep runner.
+
+    ``options`` are forwarded to the underlying ``*_qts`` builder
+    (e.g. ``iterations`` for grover, ``noise_probability``/``steps``
+    for qrw).  ``size`` is ignored by the fixed-size ``bitflip`` model.
+    """
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise SystemError_(
+            f"unknown model {name!r}; choose from "
+            f"{sorted(MODEL_BUILDERS)}") from None
+    return builder(size, **options)

@@ -57,12 +57,14 @@ class TensorNetwork:
 
     # ------------------------------------------------------------------
     def contract_pair(self, pos_a: int, pos_b: int,
-                      observer: Optional[Callable[[object], None]] = None
-                      ) -> None:
+                      observer: Optional[Callable[[object], None]] = None,
+                      contract_fn: Optional[Callable] = None) -> None:
         """Contract tensors at two positions in place.
 
         Sums every index shared by the pair that is closed and unused
-        elsewhere.
+        elsewhere.  ``contract_fn(a, b, sum_over)`` overrides the plain
+        pairwise contraction — this is how the sliced execution
+        strategy injects itself into network folds.
         """
         if pos_a == pos_b:
             raise ValueError("cannot contract a tensor with itself")
@@ -72,7 +74,10 @@ class TensorNetwork:
         shared = set(a.indices) & set(b.indices)
         sum_over = {idx for idx in shared
                     if idx not in self.open_indices and counts[idx] == 2}
-        result = a.contract(b, sum_over)
+        if contract_fn is not None:
+            result = contract_fn(a, b, sum_over)
+        else:
+            result = a.contract(b, sum_over)
         if observer is not None:
             observer(result)
         keep = [t for i, t in enumerate(self.tensors)
@@ -82,14 +87,16 @@ class TensorNetwork:
 
     def contract_all(self,
                      order: Optional[Sequence[int]] = None,
-                     observer: Optional[Callable[[object], None]] = None
-                     ) -> object:
+                     observer: Optional[Callable[[object], None]] = None,
+                     contract_fn: Optional[Callable] = None) -> object:
         """Fold the whole network into a single tensor.
 
         ``order`` names tensor positions (into the *original* list); the
         fold contracts them left to right into an accumulator.  By
         default the list order is used.  Disconnected tensors are
         combined with a tensor product, so the fold always succeeds.
+        ``contract_fn`` is forwarded to every pairwise step (see
+        :meth:`contract_pair`).
         """
         if not self.tensors:
             raise TDDError("cannot contract an empty network")
@@ -103,7 +110,8 @@ class TensorNetwork:
         remaining = [work.tensors[i] for i in sequence]
         work.tensors = remaining
         while len(work.tensors) > 1:
-            work.contract_pair(0, 1, observer=observer)
+            work.contract_pair(0, 1, observer=observer,
+                               contract_fn=contract_fn)
             # contract_pair appends the result; rotate it to the front
             work.tensors.insert(0, work.tensors.pop())
         return work.tensors[0]

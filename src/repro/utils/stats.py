@@ -33,6 +33,10 @@ class StatsRecorder:
     cache_misses: int = 0
     #: Bounded-cache evictions during the run.
     cache_evictions: int = 0
+    #: Cofactor subproblems executed by the sliced strategy.
+    slices: int = 0
+    #: Cofactor subproblems shipped to the worker pool.
+    parallel_tasks: int = 0
     #: Garbage collection: number of collect() runs and nodes freed.
     gc_runs: int = 0
     nodes_reclaimed: int = 0
@@ -89,6 +93,8 @@ class StatsRecorder:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
+        self.slices += other.slices
+        self.parallel_tasks += other.parallel_tasks
         self.gc_runs += other.gc_runs
         self.nodes_reclaimed += other.nodes_reclaimed
         self.peak_live_nodes = max(self.peak_live_nodes,
@@ -105,6 +111,8 @@ class StatsRecorder:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "cache_evictions": self.cache_evictions,
+            "slices": self.slices,
+            "parallel_tasks": self.parallel_tasks,
             "gc_runs": self.gc_runs,
             "nodes_reclaimed": self.nodes_reclaimed,
             "peak_live_nodes": self.peak_live_nodes,

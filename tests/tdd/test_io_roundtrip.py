@@ -71,3 +71,93 @@ class TestRoundTrip:
         sub = space.span([space.from_amplitudes(rng.normal(size=4))])
         rebuilt = from_dict(space.manager, to_dict(sub.projector))
         assert rebuilt.allclose(sub.projector)
+
+
+class TestOrderPayload:
+    """The IPC half of the codec: shipping the index order itself."""
+
+    def test_payload_preserves_levels_and_coordinates(self):
+        from repro.indices.index import Index
+        from repro.indices.order import IndexOrder
+        from repro.tdd.io import manager_from_order, order_payload
+
+        order = IndexOrder([Index("x0_0", qubit=0, time=0),
+                            Index("y0_0", qubit=0, time=0),
+                            Index("x1_0", qubit=1, time=0)])
+        rebuilt = manager_from_order(order_payload(order))
+        for level in range(len(order)):
+            original = order.index_at(level)
+            copy = rebuilt.order.index_at(level)
+            assert copy == original
+            assert copy.qubit == original.qubit
+            assert copy.time == original.time
+
+    def test_payload_is_picklable(self):
+        import pickle
+
+        from repro.tdd.io import manager_from_order, order_payload
+
+        m = fresh_manager(NAMES)
+        payload = pickle.loads(pickle.dumps(order_payload(m.order)))
+        rebuilt = manager_from_order(payload)
+        assert len(rebuilt.order) == len(m.order)
+
+    def test_qts_order_round_trip(self):
+        from repro.systems import models
+        from repro.tdd.io import manager_from_order, order_payload
+
+        qts = models.build_model("grover", 3)
+        worker = manager_from_order(order_payload(qts.manager.order))
+        state = qts.initial.basis[0]
+        rebuilt = from_dict(worker, to_dict(state))
+        assert np.allclose(rebuilt.to_numpy(), state.to_numpy())
+
+
+class TestIPCRoundTripProperty:
+    """Property test for the worker hand-off: a random tensor survives
+
+    parent --to_dict--> worker manager --contract/to_dict--> parent
+    with exact (canonical-grid) fidelity.
+    """
+
+    def test_random_tensors_cross_manager(self, rng):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.tdd.io import manager_from_order, order_payload
+
+        @settings(max_examples=25, deadline=None)
+        @given(rank=st.integers(min_value=0, max_value=5),
+               seed=st.integers(min_value=0, max_value=2 ** 31))
+        def check(rank, seed):
+            local = np.random.default_rng(seed)
+            names = [f"a{i}" for i in range(5)]
+            parent = fresh_manager(names)
+            arr = random_tensor(local, rank)
+            t = tc.from_numpy(parent, arr, idx(*names[:rank]))
+            worker = manager_from_order(order_payload(parent.order))
+            shipped = from_dict(worker, to_dict(t))
+            # worker -> parent: the return leg of the IPC path
+            returned = from_dict(parent, to_dict(shipped))
+            assert np.allclose(shipped.to_numpy(), arr)
+            assert returned.root.node is t.root.node  # re-interned
+
+        check()
+
+    def test_cofactor_sum_equals_whole(self, rng):
+        """slice -> ship -> recombine reproduces the original tensor."""
+        from repro.tdd.io import manager_from_order, order_payload
+        from repro.tdd.slicing import enumerate_cofactors
+
+        names = ["a0", "a1", "a2", "a3"]
+        parent = fresh_manager(names)
+        arr = random_tensor(rng, 4)
+        t = tc.from_numpy(parent, arr, idx(*names))
+        worker = manager_from_order(order_payload(parent.order))
+        total = None
+        for _assignment, edge in enumerate_cofactors(parent, t.root,
+                                                     [0, 1]):
+            part = from_dict(worker, to_dict(
+                type(t)(parent, edge, t.indices[2:])))
+            total = part if total is None else total + part
+        # summing the four cofactors marginalises indices a0, a1
+        assert np.allclose(total.to_numpy(), arr.sum(axis=(0, 1)))

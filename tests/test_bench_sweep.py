@@ -1,0 +1,231 @@
+"""The batch experiment runner: specs, execution, artifacts, resume."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.runner import BenchRow
+from repro.bench.sweep import (CSV_COLUMNS, RunSpec, SweepSpec,
+                               execute_run, format_records, run_sweep)
+from repro.bench import table1, table2
+from repro.errors import ReproError
+
+
+def tiny_spec(name="tiny", strategies=("monolithic",)):
+    return SweepSpec.from_axes(name, ["ghz", "bv"], [3],
+                               methods=["basic"], strategies=strategies)
+
+
+class TestRunSpec:
+    def test_defaults_and_label(self):
+        spec = RunSpec(model="ghz", size=4)
+        assert spec.label == "ghz4"
+        assert spec.method == "contraction"
+        assert spec.run_id == "ghz4/contraction/tdd/monolithic"
+
+    def test_run_id_includes_params(self):
+        spec = RunSpec(model="grover", size=5, method="contraction",
+                       method_params={"k1": 2, "k2": 3},
+                       model_params={"iterations": 2})
+        assert spec.run_id == ("grover5/contraction/tdd/monolithic/"
+                               "k1=2,k2=3/iterations=2")
+
+    def test_run_id_distinguishes_strategies(self):
+        mono = RunSpec(model="ghz", size=3)
+        sliced = RunSpec(model="ghz", size=3, strategy="sliced", jobs=4)
+        assert mono.run_id != sliced.run_id
+
+    def test_dict_round_trip(self):
+        spec = RunSpec(model="qrw", size=5, method="addition",
+                       method_params={"k": 2},
+                       model_params={"steps": 2})
+        assert RunSpec.from_dict(spec.as_dict()) == spec
+
+    @pytest.mark.parametrize("field,value", [
+        ("model", "nonsense"), ("method", "nonsense"),
+        ("backend", "nonsense"), ("strategy", "nonsense")])
+    def test_validation(self, field, value):
+        kwargs = {"model": "ghz", "size": 3, field: value}
+        with pytest.raises(ReproError):
+            RunSpec(**kwargs)
+
+
+class TestSweepSpec:
+    def test_axes_product(self):
+        spec = SweepSpec.from_axes("s", ["ghz", "bv"], [3, 4],
+                                   methods=["basic", "contraction"],
+                                   strategies=["monolithic", "sliced"])
+        assert len(spec.runs) == 2 * 2 * 2 * 2
+        assert len({run.run_id for run in spec.runs}) == len(spec.runs)
+
+    def test_from_dict_axes(self):
+        spec = SweepSpec.from_dict({
+            "name": "tiny", "models": ["ghz"], "sizes": [3],
+            "methods": ["contraction"],
+            "method_params": {"contraction": {"k1": 2, "k2": 2}}})
+        assert spec.runs[0].method_params == {"k1": 2, "k2": 2}
+
+    def test_from_dict_explicit_runs(self):
+        spec = SweepSpec.from_dict({
+            "name": "mine",
+            "runs": [{"model": "ghz", "size": 3, "method": "basic"}]})
+        assert spec.runs[0].model == "ghz"
+
+    def test_from_dict_missing_axes(self):
+        with pytest.raises(ReproError):
+            SweepSpec.from_dict({"name": "broken"})
+
+    def test_json_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(tiny_spec().as_dict()))
+        spec = SweepSpec.from_json_file(str(path))
+        assert [r.run_id for r in spec.runs] == \
+            [r.run_id for r in tiny_spec().runs]
+
+
+class TestExecuteRun:
+    def test_record_schema(self):
+        record = execute_run(RunSpec(model="ghz", size=3, method="basic"))
+        assert set(CSV_COLUMNS) <= set(record)
+        assert record["dimension"] == 1
+        assert record["seconds"] > 0
+        assert not record["failed"]
+
+    def test_sliced_strategy_record(self):
+        record = execute_run(RunSpec(model="qrw", size=4,
+                                     method="basic", strategy="sliced",
+                                     model_params={"steps": 2}))
+        assert record["slices"] > 0
+
+    def test_failure_is_captured_not_raised(self):
+        # the dense backend refuses large systems — a failed cell must
+        # produce a record, not sink the sweep
+        record = execute_run(RunSpec(model="ghz", size=20,
+                                     method="basic", backend="dense"))
+        assert record["failed"]
+        assert "ReproError" in record["error"]
+
+
+class TestRunSweep:
+    def test_inline_order_and_artifacts(self, tmp_path):
+        result = run_sweep(tiny_spec(), out_dir=str(tmp_path))
+        assert [r["model"] for r in result.records] == ["ghz", "bv"]
+        data = json.loads((tmp_path / "tiny.json").read_text())
+        assert len(data["records"]) == 2
+        with open(tmp_path / "tiny.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["run_id"] for row in rows] == \
+            [r["run_id"] for r in result.records]
+
+    def test_resume_skips_recorded_runs(self, tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, out_dir=str(tmp_path))
+        assert first.skipped == 0
+        second = run_sweep(spec, out_dir=str(tmp_path))
+        assert second.skipped == 2
+        # resumed records are identical to the stored ones
+        assert [r["seconds"] for r in second.records] == \
+            [r["seconds"] for r in first.records]
+
+    def test_partial_artifact_resumes_remaining(self, tmp_path):
+        spec = tiny_spec()
+        # simulate a sweep killed after its first run
+        half = SweepSpec(name=spec.name, runs=spec.runs[:1])
+        run_sweep(half, out_dir=str(tmp_path))
+        result = run_sweep(spec, out_dir=str(tmp_path))
+        assert result.skipped == 1
+        assert len(result.records) == 2
+
+    def test_resume_retries_failed_runs(self, tmp_path):
+        # a dense run over the size guard fails; the failure must be
+        # recorded but retried (not resumed) on the next invocation
+        bad = RunSpec(model="ghz", size=20, method="basic",
+                      backend="dense")
+        spec = SweepSpec(name="redo", runs=[bad])
+        first = run_sweep(spec, out_dir=str(tmp_path))
+        assert first.records[0]["failed"]
+        second = run_sweep(spec, out_dir=str(tmp_path))
+        assert second.skipped == 0  # failed cell was re-attempted
+
+    def test_no_resume_recomputes(self, tmp_path):
+        spec = tiny_spec()
+        run_sweep(spec, out_dir=str(tmp_path))
+        result = run_sweep(spec, out_dir=str(tmp_path), resume=False)
+        assert result.skipped == 0
+
+    def test_stale_artifact_entries_dropped(self, tmp_path):
+        spec = tiny_spec()
+        run_sweep(spec, out_dir=str(tmp_path))
+        shrunk = SweepSpec(name=spec.name, runs=spec.runs[:1])
+        result = run_sweep(shrunk, out_dir=str(tmp_path))
+        assert len(result.records) == 1
+
+    def test_parallel_fan_out(self, tmp_path):
+        result = run_sweep(tiny_spec(), jobs=2, out_dir=str(tmp_path))
+        assert len(result.records) == 2
+        assert not result.failed
+        # spec order preserved regardless of completion order
+        assert [r["model"] for r in result.records] == ["ghz", "bv"]
+
+    def test_progress_messages(self):
+        messages = []
+        run_sweep(tiny_spec(), progress=messages.append)
+        assert len(messages) == 2
+
+    def test_format_records_table(self):
+        result = run_sweep(tiny_spec())
+        text = format_records(result.records)
+        assert "ghz3/basic/tdd/monolithic" in text
+
+
+class TestBenchRowAdapter:
+    def test_from_record(self):
+        record = execute_run(RunSpec(model="ghz", size=3, method="basic",
+                                     label="GHZ3"))
+        row = BenchRow.from_record(record)
+        assert row.benchmark == "GHZ3"
+        assert row.method == "basic"
+        assert row.dimension == 1
+        assert not row.timed_out
+
+    def test_from_failed_record(self):
+        row = BenchRow.from_record({"label": "X", "method": "basic",
+                                    "failed": True})
+        assert row.timed_out
+        assert row.metric_cells() == ("-", "-", "-", "-")
+
+
+class TestTablesThroughSweep:
+    """table1/table2 are thin wrappers over the sweep runner."""
+
+    def test_table1_spec_excludes_skipped_cells(self):
+        spec = table1.table1_spec("small", families=["Grover"])
+        # Grover small sizes are 6 and 8; no skip rule fires
+        assert len(spec.runs) == 2 * len(table1.TABLE1_METHODS)
+        assert all(run.model == "grover" for run in spec.runs)
+        assert all(run.model_params == {"iterations": 2}
+                   for run in spec.runs)
+
+    def test_table1_rows_keep_layout(self):
+        rows = table1.table1_rows(scale="small", families=["GHZ"])
+        labels = {row.benchmark for row in rows}
+        assert all(label.startswith("GHZ") for label in labels)
+        assert len(rows) == len(labels) * len(table1.TABLE1_METHODS)
+
+    def test_table1_resumable(self, tmp_path):
+        rows = table1.table1_rows(scale="small", families=["QRW"],
+                                  out_dir=str(tmp_path))
+        again = table1.table1_rows(scale="small", families=["QRW"],
+                                   out_dir=str(tmp_path))
+        assert [r.seconds for r in rows] == [r.seconds for r in again]
+
+    def test_table2_grid_shape(self):
+        grid = table2.sweep_stats(num_qubits=4, kmax=2, iterations=1)
+        assert len(grid) == 2 and len(grid[0]) == 2
+        assert grid[0][0]["seconds"] > 0
+        assert grid[1][1]["label"] == "k2x2"
+
+    def test_table2_seconds_view(self):
+        grid = table2.sweep(num_qubits=4, kmax=2, iterations=1)
+        assert all(isinstance(cell, float) for row in grid for cell in row)

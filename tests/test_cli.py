@@ -50,3 +50,66 @@ class TestInvariant:
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
             main(["image", "nonsense"])
+
+
+class TestStrategyFlags:
+    def test_image_sliced_inline(self, capsys):
+        assert main(["image", "qrw", "--size", "3",
+                     "--strategy", "sliced"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=sliced" in out
+        assert "cofactors" in out
+
+    def test_image_sliced_jobs(self, capsys):
+        assert main(["image", "ghz", "--size", "3", "--method", "basic",
+                     "--strategy", "sliced", "--jobs", "2"]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_reach_sliced_matches_monolithic(self, capsys):
+        assert main(["reach", "qrw", "--size", "3",
+                     "--strategy", "sliced"]) == 0
+        sliced_out = capsys.readouterr().out
+        assert main(["reach", "qrw", "--size", "3"]) == 0
+        mono_out = capsys.readouterr().out
+        dims = lambda text: [line for line in text.splitlines()
+                             if line.startswith("dimensions")]
+        assert dims(sliced_out) == dims(mono_out)
+
+    def test_slice_depth_flag(self, capsys):
+        assert main(["image", "qrw", "--size", "3", "--strategy",
+                     "sliced", "--slice-depth", "1"]) == 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["image", "ghz", "--strategy", "nonsense"])
+
+
+class TestSweepCommand:
+    def test_axes_run(self, capsys, tmp_path):
+        assert main(["sweep", "--models", "ghz", "--sizes", "3",
+                     "--methods", "basic", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ghz3/basic/tdd/monolithic" in out
+        assert (tmp_path / "sweep.json").exists()
+        assert (tmp_path / "sweep.csv").exists()
+
+    def test_spec_file_run(self, capsys, tmp_path):
+        import json
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-test", "models": ["bv"], "sizes": [3],
+            "methods": ["basic"]}))
+        assert main(["sweep", "--spec", str(spec_path)]) == 0
+        assert "bv3/basic/tdd/monolithic" in capsys.readouterr().out
+
+    def test_missing_axes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--models", "ghz"])  # no --sizes
+
+
+class TestBenchForwarders:
+    def test_smoke_strategy_forward(self, capsys):
+        # the smoke wrapper forwards strategy flags to the harness
+        assert main(["smoke", "--model", "ghz", "--size", "3",
+                     "--strategy", "monolithic"]) == 0
+        assert "strategy=monolithic" in capsys.readouterr().out
