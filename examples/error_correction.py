@@ -2,22 +2,26 @@
 
 The transition system has one operation with four Kraus circuits (one
 per syndrome measurement outcome) — a *dynamic* quantum circuit.  The
-correctness property is
+builder registers two spec atoms: ``errors`` (the single-bit-flip
+error states, the initial space) and ``codeword`` (span{|000000>}).
+The correctness property is
 
     T( span{|100>, |010>, |001>} (x) |000> ) = span{|000000>}
 
 i.e. every single bit-flip error state is mapped back to the codeword
 space, with syndrome ancillas reset.  We check it with the paper's own
-contraction-partition parameters for this circuit (k1 = 3, k2 = 2) and
-also verify a *superposition* codeword survives an error.
+contraction-partition parameters for this circuit (k1 = 3, k2 = 2),
+express the temporal content as specs — ``EF codeword`` (correction
+happens) and ``AG (errors | codeword)`` (the system never visits
+anything but error states and the codeword) — and also verify a
+*superposition* codeword survives an error.
 
 Run:  python examples/error_correction.py
 """
 
 import numpy as np
 
-from repro import ModelChecker, models
-from repro.image.engine import compute_image
+from repro import CheckerConfig, ModelChecker, compute_image, models
 
 
 def main() -> None:
@@ -26,12 +30,33 @@ def main() -> None:
     print(f"Kraus circuits (measurement branches): "
           f"{qts.operation('correct').num_kraus}")
 
+    config = CheckerConfig(method="contraction",
+                           method_params={"k1": 3, "k2": 2})
+    checker = ModelChecker(qts, config)
+
     # --- the paper's property ----------------------------------------
-    checker = ModelChecker(qts, method="contraction", k1=3, k2=2)
-    expected = qts.space.span([qts.space.basis_state([0] * 6)])
+    expected = qts.named_subspace("codeword")
     ok = checker.check_image_equals(expected)
     print(f"T(error states) = span{{|000000>}}: {ok}")
     assert ok
+
+    # --- the same content as temporal specifications -----------------
+    corrected = checker.check("EF codeword")
+    print(f"EF codeword (correction reaches the code space): "
+          f"{corrected.verdict}")
+    assert corrected.holds
+
+    confined = checker.check("AG (errors | codeword)")
+    print(f"AG (errors | codeword) (nothing else is ever visited): "
+          f"{confined.verdict}  [reachable dims {confined.dimensions}]")
+    assert confined.holds
+
+    # after one step the system has left the error states for good:
+    # checking from the codeword space, AG codeword holds
+    stays = checker.check("AG codeword",
+                          initial=qts.named_subspace("codeword"))
+    print(f"AG codeword from the code space: {stays.verdict}")
+    assert stays.holds
 
     # --- a corrupted logical superposition is restored ---------------
     # encode a|000> + b|111>, flip qubit 1, run the corrector
@@ -40,19 +65,13 @@ def main() -> None:
     amplitudes[0b010_000] = a  # X1 applied to |000>|000>
     amplitudes[0b101_000] = b  # X1 applied to |111>|000>
     corrupted = qts.space.span([qts.space.from_amplitudes(amplitudes)])
-    image = compute_image(qts, subspace=corrupted,
-                          method="contraction", k1=3, k2=2).subspace
+    image = compute_image(qts, subspace=corrupted, config=config).subspace
     restored = np.zeros(64, dtype=complex)
     restored[0b000_000] = a
     restored[0b111_000] = b
     target = qts.space.span([qts.space.from_amplitudes(restored)])
     print(f"corrupted codeword restored: {image.equals(target)}")
     assert image.equals(target)
-
-    # --- reachability: the corrector never leaves the code space -----
-    trace = checker.reachable()
-    print(f"reachability fixpoint after {trace.iterations} iterations, "
-          f"dimension {trace.dimension}")
 
 
 if __name__ == "__main__":

@@ -7,14 +7,20 @@ channel on the coin after each Hadamard.  The example
    paper's containment  T(S) <= span{|0>|2>, |1>|4>}  — noting that
    the image is in fact the 1-dimensional ray spanned by the
    superposition (the X error fixes |+>, as the paper itself remarks),
-2. runs the reachability fixpoint and shows the walk eventually fills
-   the whole 16-dimensional space,
-3. compares noiseless and noisy reachable spaces.
+2. shows the same property as a violated/satisfied spec pair: the walk
+   leaves its start ray (``AG start`` is violated, with the escaping
+   directions as witness) but can always return to it (``EF start``),
+3. runs the reachability fixpoint behind ``AG ~start`` and shows the
+   walk eventually fills the whole 16-dimensional space,
+4. compares noiseless and noisy reachable spaces.
 
 Run:  python examples/noisy_walk.py
 """
 
-from repro import ModelChecker, compute_image, models
+from repro import CheckerConfig, ModelChecker, compute_image, models
+
+CONFIG = CheckerConfig(method="contraction",
+                       method_params={"k1": 4, "k2": 4})
 
 
 def main() -> None:
@@ -22,8 +28,7 @@ def main() -> None:
     print(f"System: {qts}")
 
     # --- one-step image ----------------------------------------------
-    image = compute_image(qts, method="contraction", k1=4,
-                          k2=4).subspace
+    image = compute_image(qts, config=CONFIG).subspace
     bound = qts.space.span([
         qts.space.basis_state([0, 0, 1, 0]),   # |0>|2>
         qts.space.basis_state([1, 1, 0, 0]),   # |1>|4>
@@ -32,18 +37,29 @@ def main() -> None:
     print(f"contained in span{{|0>|2>, |1>|4>}}: {bound.contains(image)}")
     assert bound.contains(image)
 
+    # --- the walk as temporal specifications -------------------------
+    checker = ModelChecker(qts, CONFIG)
+
+    leaves = checker.check("AG start")
+    print(f"AG start = {leaves.verdict} (the walker moves; witness dim "
+          f"{leaves.witness_dimension})")
+    assert not leaves.holds
+
+    returns = checker.check("EF start")
+    print(f"EF start = {returns.verdict} (the cycle brings it back)")
+    assert returns.holds
+
     # --- reachability fixpoint ---------------------------------------
-    checker = ModelChecker(qts, method="contraction", k1=4, k2=4)
-    trace = checker.reachable()
+    trace = returns                     # the result carries the trace
     print(f"reachable dimensions per iteration: {trace.dimensions}")
-    print(f"walk fills the space: {trace.dimension == 16}")
-    assert trace.dimension == 16
+    print(f"walk fills the space: {trace.reachable_dimension == 16}")
+    assert trace.reachable_dimension == 16
 
     # --- noise does not change what is reachable here ----------------
     clean = ModelChecker(models.qrw_qts(4, 0.0, start_position=3),
-                         method="contraction", k1=4, k2=4).reachable()
-    print(f"noiseless reachable dimension: {clean.dimension} "
-          f"(same: {clean.dimension == trace.dimension})")
+                         CONFIG).check("EF start")
+    print(f"noiseless reachable dimension: {clean.reachable_dimension} "
+          f"(same: {clean.reachable_dimension == trace.reachable_dimension})")
 
 
 if __name__ == "__main__":

@@ -16,17 +16,18 @@ Run:  python examples/parallel_sweep.py
 
 import tempfile
 
-from repro import ImageEngine, ModelChecker, models
+from repro import CheckerConfig, ImageEngine, ModelChecker, models
 from repro.bench.sweep import SweepSpec, run_sweep
 
 
 def sliced_strategy_demo() -> None:
     # --- one image computation, monolithic vs sliced ----------------
     mono = ModelChecker(models.qrw_qts(5, 0.1, steps=2),
-                        method="basic").image()
+                        CheckerConfig(method="basic")).image()
     sliced = ModelChecker(models.qrw_qts(5, 0.1, steps=2),
-                          method="basic", strategy="sliced",
-                          jobs=2).image()
+                          CheckerConfig(method="basic",
+                                        strategy="sliced",
+                                        jobs=2)).image()
     print("one-step image of the noisy quantum walk (qrw5):")
     print(f"  monolithic: dim={mono.dimension} "
           f"time={mono.stats.seconds * 1000:.1f} ms")
@@ -46,12 +47,15 @@ def sliced_strategy_demo() -> None:
 
 
 def sweep_runner_demo() -> None:
-    # --- a declarative sweep: families x sizes x methods ------------
+    # --- a declarative sweep: families x sizes x methods x specs ----
+    # (the "specs" axis adds property-check rows whose verdicts land
+    # in the CSV artifact next to the benchmark rows)
     spec = SweepSpec.from_dict({
         "name": "example",
         "models": ["ghz", "bv"],
         "sizes": [3, 4],
         "methods": ["basic", "contraction"],
+        "specs": [None, "AG init"],
         "method_params": {"contraction": {"k1": 2, "k2": 2}},
     })
     with tempfile.TemporaryDirectory() as out_dir:

@@ -1,49 +1,48 @@
-"""Reachability analysis of Grover's algorithm.
+"""Reachability analysis of Grover's algorithm via temporal specs.
 
 From the algorithm's input state |+...+>|->, repeated Grover
 iterations stay inside the 2-dimensional subspace spanned by the
 uniform superposition and the marked state — the invariant the paper's
-Section III.A.1 checks.  This example computes the reachability
-fixpoint from the input state, confirms it converges to that plane in
-one join, and then verifies the safety property "the system never
-leaves the invariant subspace" for several circuit widths.
+Section III.A.1 checks.  The grover builder registers that plane as
+the spec atom ``inv`` (and its spanning rays as ``plus``/``marked``),
+so the property is one ``check`` call: ``AG inv``.  This example runs
+it for several circuit widths, inspects the reachability trace inside
+the returned ``CheckResult``, and contrasts it with a spec that fails
+(``AG plus`` — the walk leaves the input ray immediately, and the
+result carries the escaping directions as a witness).
 
 Run:  python examples/reachability_grover.py
 """
 
-import numpy as np
-
-from repro import ModelChecker, models
+from repro import CheckerConfig, ModelChecker, models
 
 
 def main() -> None:
+    config = CheckerConfig(method="contraction",
+                           method_params={"k1": 4, "k2": 4})
     for n in (3, 4, 5):
         qts = models.grover_qts(n)  # initial = span{|+..+->}
-        checker = ModelChecker(qts, method="contraction", k1=4, k2=4)
-        trace = checker.reachable()
-        print(f"Grover {n}: reachable dims per iteration "
-              f"{trace.dimensions} (converged={trace.converged})")
-        assert trace.converged
-        assert trace.dimension == 2
+        checker = ModelChecker(qts, config)
 
-        # the reachable space equals the invariant subspace of III.A.1
-        invariant = models.grover_qts(n, initial="invariant")
-        # rebuild the invariant subspace inside *this* system's space
-        m = n - 1
-        plus = np.array([1, 1]) / np.sqrt(2)
-        minus = np.array([1, -1]) / np.sqrt(2)
-        one = np.array([0, 1])
-        inv = qts.space.span([
-            qts.space.product_state([plus] * m + [minus]),
-            qts.space.product_state([one] * m + [minus]),
-        ])
-        print(f"  reachable == invariant subspace: "
-              f"{trace.subspace.equals(inv)}")
-        assert trace.subspace.equals(inv)
+        # safety: the system never leaves the invariant plane
+        result = checker.check("AG inv")
+        print(f"Grover {n}: AG inv = {result.verdict}, reachable dims "
+              f"per iteration {result.dimensions} "
+              f"(converged={result.converged})")
+        assert result.holds
+        assert result.reachable_dimension == 2
 
-        # safety: nothing outside the plane is ever reached
-        assert checker.check_safety(inv)
-        print(f"  safety (never leaves the plane): True")
+        # the reachable space is exactly the plane: both rays overlap it
+        assert checker.check("EF marked").holds
+        assert checker.check("EF plus").holds
+
+        # a violated safety property comes back with a witness
+        escape = checker.check("AG plus")
+        print(f"  AG plus = {escape.verdict} "
+              f"(witness dim {escape.witness_dimension}: the reachable "
+              f"directions outside the input ray)")
+        assert not escape.holds
+        assert escape.witness_dimension >= 1
 
 
 if __name__ == "__main__":

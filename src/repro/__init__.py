@@ -9,27 +9,45 @@ algebra, quantum transition systems, four image computation algorithms
 (basic / addition partition / contraction partition / hybrid) and a
 model-checking layer with pluggable backends on top.
 
+The public API is organised around two first-class objects:
+
+* :class:`~repro.mc.config.CheckerConfig` — one validated, frozen,
+  JSON-round-trippable description of the whole engine configuration
+  (backend, image method, execution strategy, worker pool, per-method
+  parameters), and
+* temporal **specifications** — Birkhoff-von Neumann propositions over
+  named subspaces with ``AG``/``EF`` on top, written as text
+  (``"AG (inv & ~bad)"``) or as ASTs (:mod:`repro.mc.logic`), checked
+  by the single verb :meth:`~repro.mc.checker.ModelChecker.check`.
+
 Quickstart::
 
-    from repro import models, ModelChecker
+    from repro import CheckerConfig, ModelChecker, models, parse_spec
 
-    qts = models.grover_qts(4, initial="invariant")
-    checker = ModelChecker(qts, method="contraction", k1=4, k2=4)
-    assert checker.check_invariant(strict=True)   # T(S) = S
+    qts = models.grover_qts(4)        # registers atoms: inv, marked, ...
+    config = CheckerConfig(method="contraction",
+                           method_params={"k1": 4, "k2": 4})
+    checker = ModelChecker(qts, config)
 
-    result = checker.image()              # T(S0) with kernel stats:
-    result.stats.cache_hit_rate           #   memo-table hit rate
-    result.stats.peak_live_nodes          #   unique-table high water
-    result.stats.live_nodes               #   ... after garbage collection
+    result = checker.check("AG inv")  # one uniform CheckResult:
+    result.holds                      #   the verdict ...
+    result.reachable_dimension        #   ... the reachability trace
+    result.witness                    #   ... violating/witness subspace
+    result.stats.cache_hit_rate       #   ... and the kernel cost profile
 
-    # corroborate the symbolic engine against the dense statevector
+    # the same check, identical verdict, on the dense statevector
     # reference (small instances only — the dense backend is 2^n):
-    assert checker.cross_validate().ok
-    dense = ModelChecker(qts, backend="dense")    # same API, dense engine
+    dense = ModelChecker(qts, CheckerConfig(backend="dense"))
+    assert dense.check(parse_spec("AG inv")).holds == result.holds
+    assert checker.cross_validate(spec="AG inv").ok
 
     # parallel sliced execution: contractions decompose into cofactor
     # subproblems fanned out over a process pool (identical results)
-    parallel = ModelChecker(qts, strategy="sliced", jobs=4)
+    parallel = ModelChecker(qts, CheckerConfig(strategy="sliced", jobs=4))
+
+The pre-config keyword spelling
+(``ModelChecker(qts, method="contraction", k1=4)``) still works but
+emits a :class:`DeprecationWarning`.
 """
 
 from repro.circuits.circuit import QuantumCircuit
@@ -43,8 +61,12 @@ from repro.indices.index import Index, wire
 from repro.indices.order import IndexOrder
 from repro.mc.backends import (Backend, DenseStatevectorBackend, TDDBackend,
                                cross_validate, make_backend)
-from repro.mc.checker import ModelChecker
+from repro.mc.checker import CheckResult, ModelChecker
+from repro.mc.config import CheckerConfig
+from repro.mc.logic import (Always, Atomic, Eventually, Join, Meet, Name,
+                            Not, Proposition)
 from repro.mc.reachability import reachable_space
+from repro.mc.specs import parse_spec, to_text
 from repro.subspace.subspace import StateSpace, Subspace
 from repro.subspace.projector import basis_decompose
 from repro.systems import models
@@ -64,7 +86,9 @@ __all__ = [
     "Index", "wire", "IndexOrder",
     "Backend", "DenseStatevectorBackend", "TDDBackend",
     "cross_validate", "make_backend",
-    "ModelChecker", "reachable_space",
+    "CheckerConfig", "CheckResult", "ModelChecker", "reachable_space",
+    "Always", "Atomic", "Eventually", "Join", "Meet", "Name", "Not",
+    "Proposition", "parse_spec", "to_text",
     "StateSpace", "Subspace", "basis_decompose",
     "models", "QuantumOperation", "QuantumTransitionSystem",
     "TDDManager", "TDD",

@@ -1,16 +1,18 @@
 """Declarative batch experiment runner.
 
-A *sweep* is a list of fully-described benchmark configurations
-(:class:`RunSpec`: circuit family × size × image method × backend ×
-execution strategy), executed by :func:`run_sweep`:
+A *sweep* is a list of fully-described configurations
+(:class:`RunSpec`: circuit family × size × one validated
+:class:`~repro.mc.config.CheckerConfig` × an optional property spec),
+executed by :func:`run_sweep`:
 
 * configurations fan out over a :mod:`concurrent.futures` process pool
   (``jobs > 1``) — every run builds its QTS inside its own worker, so
   runs are isolated and the measured time includes transition-TDD
   construction, matching the paper's methodology;
-* every run records the full kernel cost profile through
-  :class:`~repro.utils.stats.StatsRecorder` (time, peak nodes, cache
-  hit/miss, GC activity, sliced-strategy counters);
+* a run either benchmarks one image computation (``spec=None``) or
+  checks a temporal specification (``spec="AG inv"`` — see
+  :mod:`repro.mc.specs`) and records the verdict, witness dimension
+  and reachability trace alongside the kernel cost profile;
 * results stream into a JSON artifact after every completed run and a
   CSV at the end, and a sweep is *resumable*: re-running against the
   same artifact directory skips configurations whose ``run_id`` is
@@ -18,7 +20,10 @@ execution strategy), executed by :func:`run_sweep`:
 
 ``table1``/``table2`` are thin wrappers over this module (their grids
 are just sweep specs), and the CLI exposes it as ``python -m repro
-sweep`` — see :func:`main` for the spec-file format.
+sweep`` — see :func:`main` for the spec-file format.  The legacy flat
+keyword spelling of :class:`RunSpec` (``method=``/``backend=``/...)
+still works — and old artifacts still resume — but new code should
+pass a ``config``.
 """
 
 from __future__ import annotations
@@ -29,72 +34,113 @@ import json
 import os
 import sys
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence)
 
 from repro.errors import ReproError
-from repro.mc.backends import BACKENDS, make_backend
-from repro.image.engine import METHODS
-from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
+from repro.image.sliced import DEFAULT_SLICE_DEPTH
+from repro.mc.checker import ModelChecker
+from repro.mc.config import CheckerConfig, _warn_legacy
 from repro.systems import models
 from repro.utils.tables import format_table
 
 #: the flat column schema of the CSV artifact (and of every record)
 CSV_COLUMNS = (
     "run_id", "label", "model", "size", "method", "backend", "strategy",
-    "jobs", "slice_depth", "dimension", "seconds", "max_nodes",
+    "jobs", "slice_depth", "spec", "verdict", "witness_dimension",
+    "iterations", "converged", "dimension", "seconds", "max_nodes",
     "contractions", "additions", "cache_hits", "cache_misses",
     "cache_hit_rate", "cache_evictions", "slices", "parallel_tasks",
     "gc_runs", "nodes_reclaimed", "peak_live_nodes", "live_nodes",
     "failed", "error",
 )
 
+#: RunSpec keyword arguments that predate CheckerConfig
+_LEGACY_FIELDS = ("method", "backend", "strategy", "jobs", "slice_depth",
+                  "method_params")
+
 
 # ----------------------------------------------------------------------
 # specs
 # ----------------------------------------------------------------------
-@dataclass
 class RunSpec:
-    """One fully-described benchmark configuration.
+    """One fully-described configuration: model + size + config + spec.
 
-    ``method_params`` are image-method parameters (``k``/``k1``/``k2``/
-    ``order_policy``); ``model_params`` go to the circuit builder
-    (``iterations``, ``steps``, ``noise_probability``, ...).  ``jobs``
-    is the *intra-run* slice-pool width of the sliced strategy — the
-    sweep-level fan-out is a separate argument to :func:`run_sweep`.
+    ``config`` is the validated engine configuration
+    (:class:`~repro.mc.config.CheckerConfig`); ``spec`` an optional
+    property to check (text, e.g. ``"AG inv"`` — without one the run
+    benchmarks a single image computation); ``model_params`` go to the
+    circuit builder (``iterations``, ``steps``, ``noise_probability``,
+    ...).  The old flat keywords (``method=``/``backend=``/
+    ``strategy=``/``jobs=``/``slice_depth=``/``method_params=``) are
+    accepted with a :class:`DeprecationWarning`.
     """
 
-    model: str
-    size: int
-    method: str = "contraction"
-    backend: str = "tdd"
-    strategy: str = "monolithic"
-    jobs: int = 1
-    slice_depth: int = DEFAULT_SLICE_DEPTH
-    method_params: dict = field(default_factory=dict)
-    model_params: dict = field(default_factory=dict)
-    label: Optional[str] = None
-
-    def __post_init__(self) -> None:
-        if self.model not in models.MODEL_BUILDERS:
-            raise ReproError(f"unknown model {self.model!r}; choose from "
+    def __init__(self, model: str, size: int,
+                 config: Optional[CheckerConfig] = None,
+                 spec: Optional[str] = None,
+                 model_params: Optional[Mapping] = None,
+                 label: Optional[str] = None,
+                 **legacy) -> None:
+        unknown = set(legacy) - set(_LEGACY_FIELDS)
+        if unknown:
+            raise ReproError(f"unknown RunSpec arguments "
+                             f"{sorted(unknown)}")
+        if legacy:
+            if config is not None:
+                raise ReproError("RunSpec takes either config= or the "
+                                 "legacy method/backend keywords, "
+                                 "not both")
+            _warn_legacy(f"RunSpec with keyword arguments "
+                         f"{sorted(legacy)}")
+            config = CheckerConfig.from_kwargs(**legacy)
+        if model not in models.MODEL_BUILDERS:
+            raise ReproError(f"unknown model {model!r}; choose from "
                              f"{sorted(models.MODEL_BUILDERS)}")
-        if self.method not in METHODS:
-            raise ReproError(f"unknown method {self.method!r}; "
-                             f"choose from {METHODS}")
-        if self.backend not in BACKENDS:
-            raise ReproError(f"unknown backend {self.backend!r}; "
-                             f"choose from {BACKENDS}")
-        if self.strategy not in STRATEGIES:
-            raise ReproError(f"unknown strategy {self.strategy!r}; "
-                             f"choose from {STRATEGIES}")
-        if self.label is None:
-            self.label = f"{self.model}{self.size}"
+        self.model = model
+        self.size = size
+        self.config = config if config is not None else CheckerConfig()
+        self.spec = spec
+        self.model_params = dict(model_params or {})
+        self.label = label if label is not None else f"{model}{size}"
+
+    # legacy attribute echoes -----------------------------------------
+    @property
+    def method(self) -> str:
+        return self.config.method
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    @property
+    def strategy(self) -> str:
+        return self.config.strategy
+
+    @property
+    def jobs(self) -> int:
+        return self.config.jobs or 1
+
+    @property
+    def slice_depth(self) -> int:
+        return self.config.slice_depth
+
+    @property
+    def method_params(self) -> dict:
+        return dict(self.config.method_params)
 
     # ------------------------------------------------------------------
     @property
     def run_id(self) -> str:
-        """Deterministic identity of this configuration (resume key)."""
+        """Deterministic identity of this configuration (resume key).
+
+        Kept format-compatible with pre-config artifacts so existing
+        sweeps resume across the API change.  (Exception: dense rows —
+        their configs no longer carry the method/strategy knobs the
+        dense backend never honoured, so legacy dense cells recompute
+        once instead of resuming.)
+        """
         def fmt(params: dict) -> str:
             return ",".join(f"{k}={params[k]}" for k in sorted(params))
         parts = [f"{self.model}{self.size}", self.method, self.backend,
@@ -105,20 +151,43 @@ class RunSpec:
             parts.append(fmt(self.method_params))
         if self.model_params:
             parts.append(fmt(self.model_params))
+        if self.spec is not None:
+            parts.append(f"check[{self.spec}]")
         return "/".join(parts)
 
     def as_dict(self) -> dict:
         return {"model": self.model, "size": self.size,
-                "method": self.method, "backend": self.backend,
-                "strategy": self.strategy, "jobs": self.jobs,
-                "slice_depth": self.slice_depth,
-                "method_params": dict(self.method_params),
+                "config": self.config.as_dict(),
+                "spec": self.spec,
                 "model_params": dict(self.model_params),
                 "label": self.label}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RunSpec":
-        return cls(**data)
+    def from_dict(cls, data: Mapping) -> "RunSpec":
+        """Parse either the config form or the legacy flat form.
+
+        Legacy flat dicts (``{"model": ..., "method": ..., "jobs": 1,
+        ...}`` — the pre-config artifact/spec-file schema) convert
+        silently so existing spec files keep working.
+        """
+        data = dict(data)
+        if "config" in data:
+            config = CheckerConfig.from_dict(data.pop("config"))
+            return cls(config=config, **data)
+        legacy = {name: data.pop(name) for name in _LEGACY_FIELDS
+                  if name in data}
+        config = CheckerConfig.from_kwargs(**legacy)
+        return cls(config=config, **data)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, RunSpec)
+                and other.model == self.model and other.size == self.size
+                and other.config == self.config and other.spec == self.spec
+                and other.model_params == self.model_params
+                and other.label == self.label)
+
+    def __repr__(self) -> str:
+        return f"RunSpec({self.run_id!r})"
 
 
 @dataclass
@@ -136,6 +205,7 @@ class SweepSpec:
                   methods: Sequence[str] = ("contraction",),
                   backends: Sequence[str] = ("tdd",),
                   strategies: Sequence[str] = ("monolithic",),
+                  specs: Sequence[Optional[str]] = (None,),
                   jobs_per_run: int = 1,
                   slice_depth: int = DEFAULT_SLICE_DEPTH,
                   method_params: Optional[Dict[str, dict]] = None,
@@ -144,19 +214,43 @@ class SweepSpec:
 
         ``method_params`` maps a method name to its parameter dict
         (e.g. ``{"contraction": {"k1": 4, "k2": 4}}``);
-        ``model_params`` applies to every run.
+        ``model_params`` applies to every run; ``specs`` adds
+        property-check rows (``None`` = plain image benchmark).  The
+        dense backend ignores methods and strategies, so crossing it
+        with those axes would duplicate work — duplicate
+        configurations are dropped (by ``run_id``).
         """
         method_params = method_params or {}
-        runs = [RunSpec(model=model, size=size, method=method,
-                        backend=backend, strategy=strategy,
-                        jobs=jobs_per_run, slice_depth=slice_depth,
-                        method_params=dict(method_params.get(method, {})),
-                        model_params=dict(model_params or {}))
-                for model in model_names
-                for size in sizes
-                for method in methods
-                for backend in backends
-                for strategy in strategies]
+        runs: List[RunSpec] = []
+        seen = set()
+        for model in model_names:
+            for size in sizes:
+                for spec_text in specs:
+                    for backend in backends:
+                        for method in methods:
+                            for strategy in strategies:
+                                if backend == "dense":
+                                    config = CheckerConfig(backend="dense")
+                                else:
+                                    sliced = strategy == "sliced"
+                                    config = CheckerConfig(
+                                        method=method, strategy=strategy,
+                                        jobs=(jobs_per_run if sliced
+                                              and jobs_per_run > 1
+                                              else None),
+                                        slice_depth=(slice_depth if sliced
+                                                     else
+                                                     DEFAULT_SLICE_DEPTH),
+                                        method_params=dict(
+                                            method_params.get(method, {})))
+                                run = RunSpec(
+                                    model=model, size=size, config=config,
+                                    spec=spec_text,
+                                    model_params=dict(model_params or {}))
+                                if run.run_id in seen:
+                                    continue
+                                seen.add(run.run_id)
+                                runs.append(run)
         return cls(name=name, runs=runs)
 
     @classmethod
@@ -165,12 +259,15 @@ class SweepSpec:
 
         Either an explicit run list::
 
-            {"name": "mine", "runs": [{"model": "ghz", "size": 4, ...}]}
+            {"name": "mine", "runs": [{"model": "ghz", "size": 4,
+             "config": {"method": "basic"}, "spec": "AG init"}]}
 
-        or axes to take the product of::
+        (legacy flat run dicts remain accepted) or axes to take the
+        product of::
 
             {"name": "tiny", "models": ["ghz", "bv"], "sizes": [3, 4],
              "methods": ["basic"], "strategies": ["monolithic", "sliced"],
+             "specs": ["AG init"],
              "method_params": {"contraction": {"k1": 4, "k2": 4}}}
         """
         name = data.get("name", "sweep")
@@ -188,6 +285,7 @@ class SweepSpec:
             methods=data.get("methods", ("contraction",)),
             backends=data.get("backends", ("tdd",)),
             strategies=data.get("strategies", ("monolithic",)),
+            specs=data.get("specs", (None,)),
             jobs_per_run=data.get("jobs_per_run", 1),
             slice_depth=data.get("slice_depth", DEFAULT_SLICE_DEPTH),
             method_params=data.get("method_params"),
@@ -210,30 +308,38 @@ def execute_run(spec: RunSpec) -> dict:
     """Run one configuration in-process and return its flat record.
 
     Builds a fresh QTS (construction time is part of the measurement),
-    computes one image on the requested backend/strategy, and flattens
-    the :class:`~repro.utils.stats.StatsRecorder` profile into the
-    :data:`CSV_COLUMNS` schema.
+    then either computes one image on the configured backend or — when
+    the run carries a property ``spec`` — checks it through
+    :meth:`~repro.mc.checker.ModelChecker.check`, and flattens the
+    outcome into the :data:`CSV_COLUMNS` schema.
     """
-    record = dict(spec.as_dict())
-    del record["method_params"], record["model_params"]
-    record["run_id"] = spec.run_id
-    record["failed"] = False
-    record["error"] = ""
+    record = {"model": spec.model, "size": spec.size,
+              "method": spec.method, "backend": spec.backend,
+              "strategy": spec.strategy, "jobs": spec.jobs,
+              "slice_depth": spec.slice_depth, "label": spec.label,
+              "spec": spec.spec or "", "verdict": "",
+              "run_id": spec.run_id, "failed": False, "error": ""}
     try:
         qts = models.build_model(spec.model, spec.size, **spec.model_params)
-        backend = make_backend(spec.backend, method=spec.method,
-                               strategy=spec.strategy, jobs=spec.jobs,
-                               slice_depth=spec.slice_depth,
-                               **spec.method_params)
-        result = backend.compute_image(qts)
+        checker = ModelChecker(qts, spec.config)
+        if spec.spec is not None:
+            result = checker.check(spec.spec)
+            record["verdict"] = result.verdict
+            record["witness_dimension"] = result.witness_dimension
+            record["iterations"] = result.iterations
+            record["converged"] = result.converged
+            record["dimension"] = result.reachable_dimension
+            stats = result.stats.as_dict()
+        else:
+            result = checker.image()
+            record["dimension"] = result.dimension
+            stats = result.stats.as_dict()
     except Exception as exc:  # a failed cell must not sink the sweep
         record["failed"] = True
         record["error"] = f"{type(exc).__name__}: {exc}"
         for column in CSV_COLUMNS:
             record.setdefault(column, 0)
         return record
-    record["dimension"] = result.dimension
-    stats = result.stats.as_dict()
     for column in CSV_COLUMNS:
         if column not in record:
             record[column] = stats.get(column, 0)
@@ -328,8 +434,14 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
         by_id[record["run_id"]] = record
         if json_path is not None:
             _write_json(json_path, spec, by_id)
-        state = "FAILED " + record["error"] if record["failed"] else (
-            f"dim={record['dimension']} {record['seconds']:.2f}s")
+        if record["failed"]:
+            state = "FAILED " + record["error"]
+        elif record.get("verdict"):
+            state = (f"{record['verdict']} "
+                     f"(reachable dim={record['dimension']}) "
+                     f"{record['seconds']:.2f}s")
+        else:
+            state = f"dim={record['dimension']} {record['seconds']:.2f}s"
         say(f"[{len(by_id)}/{len(spec.runs)}] {record['run_id']}: {state}")
 
     if jobs > 1 and len(pending) > 1:
@@ -357,15 +469,17 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
 # CLI
 # ----------------------------------------------------------------------
 def format_records(records: Sequence[dict]) -> str:
-    headers = ["run", "dim", "time [s]", "max#node", "cache hit%",
-               "live/peak", "slices"]
+    headers = ["run", "dim", "verdict", "time [s]", "max#node",
+               "cache hit%", "live/peak", "slices"]
     rows = []
     for record in records:
         if record.get("failed"):
-            rows.append([record["run_id"], "-", "-", "-", "-", "-", "-"])
+            rows.append([record["run_id"], "-", "-", "-", "-", "-", "-",
+                         "-"])
             continue
         rows.append([
             record["run_id"], str(record["dimension"]),
+            record.get("verdict") or "-",
             f"{record['seconds']:.2f}", str(record["max_nodes"]),
             f"{100 * record['cache_hit_rate']:.0f}%",
             f"{record['live_nodes']}/{record['peak_live_nodes']}",
@@ -386,8 +500,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro sweep",
         description="Batch experiment runner: fan a declarative sweep "
                     "spec (models x sizes x methods x backends x "
-                    "strategies) over a process pool with resumable "
-                    "JSON/CSV artifacts.")
+                    "strategies x property specs) over a process pool "
+                    "with resumable JSON/CSV artifacts.")
     parser.add_argument("--spec", help="JSON sweep spec file (see "
                                        "SweepSpec.from_dict)")
     parser.add_argument("--name", default="sweep",
@@ -401,6 +515,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--backends", type=_csv_names, default=["tdd"])
     parser.add_argument("--strategies", type=_csv_names,
                         default=["monolithic"])
+    parser.add_argument("--check", action="append", default=[],
+                        dest="checks", metavar="SPEC",
+                        help="property spec to check on every "
+                             "model/size cell (repeatable), e.g. "
+                             "--check \"AG init\"")
     parser.add_argument("--jobs", type=int, default=1,
                         help="concurrent configurations (process pool)")
     parser.add_argument("--out", default=None,
@@ -416,6 +535,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         spec = SweepSpec.from_axes(
             args.name, args.models, args.sizes, methods=args.methods,
             backends=args.backends, strategies=args.strategies,
+            specs=(args.checks or [None]),
             method_params={"contraction": {"k1": 4, "k2": 4},
                            "addition": {"k": 1},
                            "hybrid": {"k": 1, "k1": 4, "k2": 4}})

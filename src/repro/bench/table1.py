@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.runner import BenchRow
 from repro.bench.sweep import RunSpec, SweepSpec, run_sweep
+from repro.mc.config import CheckerConfig
 from repro.utils.tables import format_table
 
 #: method name -> image-computation parameters (the Table I settings)
@@ -71,6 +72,11 @@ FAMILIES: Dict[str, FamilySpec] = {
 }
 
 
+def _cell_config(method: str, params: dict, strategy: str) -> CheckerConfig:
+    return CheckerConfig(method=method, strategy=strategy,
+                         method_params=dict(params))
+
+
 def table1_spec(scale: str = "small",
                 families: Optional[List[str]] = None,
                 strategy: str = "monolithic") -> SweepSpec:
@@ -84,8 +90,8 @@ def table1_spec(scale: str = "small",
                 if skip(method, size):
                     continue
                 runs.append(RunSpec(
-                    model=model, size=size, method=method,
-                    strategy=strategy, method_params=dict(params),
+                    model=model, size=size,
+                    config=_cell_config(method, params, strategy),
                     model_params=dict(model_params),
                     label=f"{family}{size}"))
     return SweepSpec(name=f"table1-{scale}", runs=runs)
@@ -115,9 +121,8 @@ def table1_rows(scale: str = "small",
                     rows.append(BenchRow(label, method, 0.0, 0, 0,
                                          timed_out=True))
                     continue
-                run = RunSpec(model=model, size=size, method=method,
-                              strategy=strategy,
-                              method_params=dict(params),
+                run = RunSpec(model=model, size=size,
+                              config=_cell_config(method, params, strategy),
                               model_params=dict(model_params),
                               label=label)
                 rows.append(BenchRow.from_record(by_id[run.run_id]))

@@ -18,14 +18,17 @@ import sys
 from typing import List, Optional
 
 from repro.bench.sweep import RunSpec, SweepSpec, run_sweep
+from repro.mc.config import CheckerConfig
 from repro.utils.tables import format_table
 
 
 def table2_spec(num_qubits: int = 8, kmax: int = 8,
                 iterations: int = 2) -> SweepSpec:
     """The k1 x k2 contraction grid as a sweep spec (row-major)."""
-    runs = [RunSpec(model="grover", size=num_qubits, method="contraction",
-                    method_params={"k1": k1, "k2": k2},
+    runs = [RunSpec(model="grover", size=num_qubits,
+                    config=CheckerConfig(
+                        method="contraction",
+                        method_params={"k1": k1, "k2": k2}),
                     model_params={"iterations": iterations},
                     label=f"k{k1}x{k2}")
             for k1 in range(1, kmax + 1)

@@ -4,26 +4,40 @@ Subcommands:
 
 * ``image``  — one-step image computation on a built-in model,
 * ``reach``  — reachability fixpoint,
+* ``check``  — check a temporal specification (``--spec "AG inv"``),
 * ``invariant`` — check ``T(S0) <= S0`` (``--strict`` for equality),
-* ``crosscheck`` — compare the tdd and dense backends on one image,
+* ``crosscheck`` — compare the tdd and dense backends on one image
+  (or on one ``--spec`` check),
 * ``sweep``  — batch experiment runner (declarative spec, process-pool
-  fan-out, resumable JSON/CSV artifacts),
+  fan-out, resumable JSON/CSV artifacts, property-check rows),
 * ``table1`` / ``table2`` / ``smoke`` — forward to the benchmark
   harnesses (all thin wrappers over the sweep runner).
 
-``image``, ``reach`` and ``invariant`` accept ``--backend {tdd,dense}``
-(the dense statevector reference is exponential — small sizes only) and
+Engine flags build one validated
+:class:`~repro.mc.config.CheckerConfig`: ``--backend {tdd,dense}``
+(the dense statevector reference is exponential — small sizes only),
 ``--strategy {monolithic,sliced}`` with ``--jobs N`` (parallel cofactor
-contraction, see ``repro.image.sliced``), and report the kernel
-instrumentation: cache hit rate and post-GC/peak live nodes.
+contraction, see ``repro.image.sliced``) and the per-method parameters.
+Mismatched combinations (tdd-only knobs with ``--backend dense``,
+``--jobs`` without the sliced strategy) are rejected with a clear
+error instead of being silently dropped.
+
+Specs (``check``/``crosscheck --spec``) use the text language of
+``repro.mc.specs``: ``AG``/``EF`` over atoms the model registers
+(``init`` always works; e.g. grover registers ``inv``, ``marked``,
+``plus``, ``ancilla_plus``) combined with ``&``, ``|``, ``~`` and
+parentheses.
 
 Examples::
 
     python -m repro image grover --size 4 --method contraction
     python -m repro image qrw --size 5 --strategy sliced --jobs 4
     python -m repro reach qrw --size 4 --frontier
+    python -m repro check grover --size 4 --spec "AG inv"
+    python -m repro check grover --size 3 --spec "EF marked" --backend dense
     python -m repro image ghz --size 3 --backend dense
     python -m repro crosscheck grover --size 4
+    python -m repro crosscheck grover --size 3 --spec "AG inv"
     python -m repro invariant grover --size 4 --initial invariant
     python -m repro sweep --models ghz,bv --sizes 3,4 --methods basic \\
         --jobs 2 --out results
@@ -36,9 +50,11 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import ReproError
 from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
-from repro.mc.backends import BACKENDS, cross_validate, make_backend
-from repro.mc.invariants import invariant_holds
+from repro.mc.backends import cross_validate, make_backend
+from repro.mc.checker import ModelChecker
+from repro.mc.config import BACKENDS, CheckerConfig
 from repro.systems import models
 
 #: model name -> builder(size, args); argparse options map onto the
@@ -63,7 +79,7 @@ _MODELS: Dict[str, Callable] = {
 
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("model", choices=sorted(_MODELS))
-    parser.add_argument("--size", type=int, default=4,
+    parser.add_argument("--size", "--n", type=int, default=4,
                         help="qubit count (ignored for bitflip)")
     parser.add_argument("--method", default="contraction",
                         choices=["basic", "addition", "contraction",
@@ -120,13 +136,11 @@ def _build(args):
     return _MODELS[args.model](args.size, args)
 
 
-def _make_backend(args):
-    # make_backend drops tdd-only method/strategy params for non-tdd
-    # backends
-    return make_backend(args.backend, method=args.method,
-                        strategy=args.strategy, jobs=args.jobs,
-                        slice_depth=args.slice_depth,
-                        **_method_params(args))
+def _config(args) -> CheckerConfig:
+    # the single validated source of truth for every engine knob;
+    # explicit tdd-only flags with --backend dense raise ConfigError
+    # here instead of being silently dropped
+    return CheckerConfig.from_cli_args(args)
 
 
 def _print_kernel_stats(stats) -> None:
@@ -143,24 +157,19 @@ def _print_kernel_stats(stats) -> None:
               f"({stats.parallel_tasks} on the worker pool)")
 
 
-def _engine_label(args, frontier: bool = False) -> str:
-    # the dense reference ignores method/strategy/frontier — don't
-    # print them as if they took effect
-    if args.backend != "tdd":
-        return f"backend={args.backend}"
-    label = f"method={args.method} backend=tdd"
-    if args.strategy != "monolithic":
-        label += f" strategy={args.strategy}"
-        if args.jobs:
-            label += f" jobs={args.jobs}"
-    if frontier:
-        label += f" frontier={args.frontier}"
+def _engine_label(config: CheckerConfig, frontier: bool = False) -> str:
+    # the dense reference ignores method/strategy/frontier — the config
+    # echo only prints what actually took effect
+    label = config.describe()
+    if frontier and config.backend == "tdd":
+        label += " frontier=True"
     return label
 
 
 def _cmd_image(args) -> int:
-    result = _make_backend(args).compute_image(_build(args))
-    print(f"model={args.model}{args.size} {_engine_label(args)}")
+    config = _config(args)
+    result = make_backend(config).compute_image(_build(args))
+    print(f"model={args.model}{args.size} {_engine_label(config)}")
     print(f"dim(T(S0)) = {result.dimension}")
     print(f"time       = {result.stats.seconds:.3f} s")
     print(f"max #node  = {result.stats.max_nodes}")
@@ -169,10 +178,11 @@ def _cmd_image(args) -> int:
 
 
 def _cmd_reach(args) -> int:
-    trace = _make_backend(args).reachable(_build(args),
-                                          frontier=args.frontier)
+    config = _config(args)
+    trace = make_backend(config).reachable(_build(args),
+                                           frontier=args.frontier)
     print(f"model={args.model}{args.size} "
-          f"{_engine_label(args, frontier=True)}")
+          f"{_engine_label(config, frontier=args.frontier)}")
     print(f"dimensions = {trace.dimensions}")
     print(f"converged  = {trace.converged} "
           f"({trace.iterations} iterations)")
@@ -182,25 +192,58 @@ def _cmd_reach(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    config = _config(args)
+    checker = ModelChecker(_build(args), config)
+    result = checker.check(args.spec, max_iterations=args.max_iterations)
+    print(f"model={args.model}{args.size} {_engine_label(config)}")
+    print(f"spec       = {result.spec}")
+    print(f"verdict    = {result.verdict}")
+    print(f"reachable  = dim {result.reachable_dimension} "
+          f"{result.dimensions} "
+          f"(converged={result.converged}, "
+          f"{result.iterations} iterations)")
+    if result.witness is not None:
+        role = ("overlap witness" if result.kind == "EF"
+                else "violating directions")
+        print(f"witness    = dim {result.witness_dimension} ({role})")
+    print(f"time       = {result.stats.seconds:.3f} s")
+    _print_kernel_stats(result.stats)
+    return 0 if result.holds else 1
+
+
 def _cmd_crosscheck(args) -> int:
-    report = cross_validate(_build(args), method=args.method,
-                            **_method_params(args))
+    config = CheckerConfig(method=args.method,
+                           method_params=_method_params(args))
+    report = cross_validate(_build(args), spec=args.spec or None,
+                            config=config)
     print(f"model={args.model}{args.size} method={args.method}")
-    print(f"tdd   dim = {report.tdd_dimension} "
-          f"({report.tdd_seconds:.3f} s)")
-    print(f"dense dim = {report.dense_dimension} "
-          f"({report.dense_seconds:.3f} s)")
+    if report.spec is not None:
+        print(f"spec      = {report.spec}")
+        print(f"tdd       = {report.tdd_verdict} "
+              f"(reachable dim {report.tdd_dimension}, "
+              f"{report.tdd_seconds:.3f} s)")
+        print(f"dense     = {report.dense_verdict} "
+              f"(reachable dim {report.dense_dimension}, "
+              f"{report.dense_seconds:.3f} s)")
+    else:
+        print(f"tdd   dim = {report.tdd_dimension} "
+              f"({report.tdd_seconds:.3f} s)")
+        print(f"dense dim = {report.dense_dimension} "
+              f"({report.dense_seconds:.3f} s)")
     print(f"agree     = {report.agree}")
     return 0 if report.agree else 1
 
 
 def _cmd_invariant(args) -> int:
-    qts = _build(args)
-    image = _make_backend(args).compute_image(qts).subspace
-    holds = invariant_holds(image, qts.initial, args.strict)
+    # implemented on the unified check verb: T(S0) <= S0 is AG S0 from
+    # S0 (plus an image-equality comparison when --strict)
+    config = _config(args)
+    checker = ModelChecker(_build(args), config)
+    holds = checker.check_invariant(strict=args.strict)
     relation = "=" if args.strict else "<="
     print(f"T(S0) {relation} S0 for {args.model}{args.size} "
-          f"({_engine_label(args)}): {holds}")
+          f"({_engine_label(config)}): {holds}")
     return 0 if holds else 1
 
 
@@ -223,6 +266,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     reach.add_argument("--frontier", action="store_true")
     reach.set_defaults(func=_cmd_reach)
 
+    check = sub.add_parser(
+        "check", help="check a temporal specification (AG/EF over "
+                      "registered subspace atoms)")
+    _add_model_arguments(check)
+    _add_backend_argument(check)
+    _add_strategy_arguments(check)
+    check.add_argument("--spec", required=True,
+                       help="specification text, e.g. \"AG inv\", "
+                            "\"EF marked\", \"AG (inv & ~bad)\"")
+    check.add_argument("--max-iterations", type=int, default=0,
+                       dest="max_iterations",
+                       help="bound the reachability fixpoint "
+                            "(0 = until the dimension saturates)")
+    check.set_defaults(func=_cmd_check)
+
     invariant = sub.add_parser("invariant", help="check T(S0) <= S0")
     _add_model_arguments(invariant)
     _add_backend_argument(invariant)
@@ -231,8 +289,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     invariant.set_defaults(func=_cmd_invariant)
 
     crosscheck = sub.add_parser(
-        "crosscheck", help="compare tdd and dense backends on one image")
+        "crosscheck", help="compare tdd and dense backends on one image "
+                           "or one --spec check")
     _add_model_arguments(crosscheck)
+    crosscheck.add_argument("--spec", default=None,
+                            help="cross-validate a spec check instead "
+                                 "of an image")
     crosscheck.set_defaults(func=_cmd_crosscheck)
 
     sweep = sub.add_parser(
@@ -280,9 +342,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "sweep":
         args = parser.parse_args(["sweep"])
         args.sweep_args = list(argv[1:])
+    else:
+        args = parser.parse_args(argv)
+    try:
         return args.func(args)
-    args = parser.parse_args(argv)
-    return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

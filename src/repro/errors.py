@@ -27,5 +27,13 @@ class SystemError_(ReproError):
     """A quantum transition system was constructed incorrectly."""
 
 
+class ConfigError(ReproError):
+    """An engine configuration mixed unknown or mismatched parameters."""
+
+
+class SpecError(ReproError):
+    """A specification string could not be parsed or resolved."""
+
+
 class PartitionError(ReproError):
     """A circuit partition request could not be satisfied."""

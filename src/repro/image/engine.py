@@ -75,7 +75,25 @@ class ImageEngine:
                  strategy: str = "monolithic",
                  jobs: Optional[int] = None,
                  slice_depth: int = DEFAULT_SLICE_DEPTH,
+                 config=None,
                  **params) -> None:
+        if config is not None:
+            # a repro.mc.config.CheckerConfig: the validated single
+            # source of truth — it overrides the loose kwargs entirely
+            if params or method != "basic" or strategy != "monolithic" \
+                    or jobs is not None or slice_depth != DEFAULT_SLICE_DEPTH:
+                raise ReproError("pass either config= or the individual "
+                                 "method/strategy keyword arguments, "
+                                 "not both")
+            if config.backend != "tdd":
+                raise ReproError(
+                    f"ImageEngine runs the symbolic tdd engine; got a "
+                    f"config for backend={config.backend!r}")
+            method = config.method
+            strategy = config.strategy
+            jobs = config.jobs
+            slice_depth = config.slice_depth
+            params = dict(config.method_params)
         if strategy not in STRATEGIES:
             raise ReproError(f"unknown strategy {strategy!r}; "
                              f"choose from {STRATEGIES}")
@@ -131,8 +149,13 @@ def compute_image(qts: QuantumTransitionSystem,
                   strategy: str = "monolithic",
                   jobs: Optional[int] = None,
                   slice_depth: int = DEFAULT_SLICE_DEPTH,
+                  config=None,
                   **params) -> ImageResult:
     """One-shot ``T(S)`` with run statistics.
+
+    Engine configuration comes either from a validated
+    :class:`repro.mc.config.CheckerConfig` (``config=...``, the
+    preferred spelling) or from the individual keyword arguments.
 
     The returned :class:`ImageResult` stats carry wall time, peak TDD
     node count, operation-cache hit/miss counts for this run, sliced
@@ -141,5 +164,6 @@ def compute_image(qts: QuantumTransitionSystem,
     the peak and surviving live-node populations of the manager.
     """
     with ImageEngine(qts, method, strategy=strategy, jobs=jobs,
-                     slice_depth=slice_depth, **params) as engine:
+                     slice_depth=slice_depth, config=config,
+                     **params) as engine:
         return engine.compute_image(subspace, gc=gc)

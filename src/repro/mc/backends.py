@@ -9,31 +9,31 @@ check on one of two interchangeable engines:
   exponential; Kraus matrices applied to dense basis vectors, subspaces
   closed by SVD).
 
-Both return the same result types (``ImageResult`` /
-``ReachabilityTrace`` over TDD-backed subspaces), so results
-cross-validate structurally: :func:`cross_validate` runs an image on
-both backends and compares dimension and projector equality.  This is
-the production-style guard rail for the symbolic engine — any
-divergence on a small instance pinpoints a kernel bug before it ships
-at a scale where the dense oracle can no longer follow.
+Both are configured through one validated
+:class:`~repro.mc.config.CheckerConfig` and return the same result
+types (``ImageResult`` / ``ReachabilityTrace`` over TDD-backed
+subspaces), so results cross-validate structurally:
+:func:`cross_validate` runs an image — or a full temporal-spec check —
+on both backends and compares the outcomes.  This is the
+production-style guard rail for the symbolic engine: any divergence on
+a small instance pinpoints a kernel bug before it ships at a scale
+where the dense oracle can no longer follow.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Union
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.image.base import ImageResult
-from repro.image.engine import METHODS, compute_image
-from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
+from repro.image.engine import compute_image
+from repro.mc.config import BACKENDS, CheckerConfig, _warn_legacy
 from repro.mc.reachability import ReachabilityTrace, reachable_space
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.utils.stats import StatsRecorder
 from repro.utils.timing import Stopwatch
-
-BACKENDS = ("tdd", "dense")
 
 #: dense simulation is exponential; refuse silly sizes loudly
 DENSE_MAX_QUBITS = 14
@@ -60,46 +60,71 @@ class Backend(Protocol):
 class TDDBackend:
     """The symbolic backend: delegates to the image/mc engine.
 
-    ``strategy`` / ``jobs`` / ``slice_depth`` select the execution
-    strategy of :mod:`repro.image.sliced` (monolithic sequential
-    contraction vs. parallel cofactor slicing); the remaining params
-    are the method parameters (``k``, ``k1``, ``k2``, ...).
+    Construct it from a :class:`~repro.mc.config.CheckerConfig`
+    (``TDDBackend(config)``) or through the legacy keyword spelling
+    (``TDDBackend(method=..., strategy=..., jobs=..., **params)``).
     """
 
     name = "tdd"
 
-    def __init__(self, method: str = "contraction",
+    def __init__(self, method: Union[str, CheckerConfig] = "contraction",
                  strategy: str = "monolithic",
                  jobs: Optional[int] = None,
-                 slice_depth: int = DEFAULT_SLICE_DEPTH,
+                 slice_depth: Optional[int] = None,
                  **params) -> None:
-        if method not in METHODS:
-            raise ReproError(f"unknown image method {method!r}; "
-                             f"choose from {METHODS}")
-        if strategy not in STRATEGIES:
-            raise ReproError(f"unknown strategy {strategy!r}; "
-                             f"choose from {STRATEGIES}")
-        self.method = method
-        self.strategy = strategy
-        self.jobs = jobs
-        self.slice_depth = slice_depth
-        self.params = dict(params)
+        if isinstance(method, CheckerConfig):
+            if (strategy != "monolithic" or jobs is not None
+                    or slice_depth is not None or params):
+                raise ConfigError("TDDBackend takes either a CheckerConfig "
+                                  "or the legacy keyword arguments, "
+                                  "not both")
+            if method.backend != "tdd":
+                raise ConfigError(f"TDDBackend needs a tdd config, got "
+                                  f"backend={method.backend!r}")
+            self.config = method
+        else:
+            kwargs = dict(method=method, strategy=strategy, jobs=jobs,
+                          **params)
+            if slice_depth is not None:
+                kwargs["slice_depth"] = slice_depth
+            self.config = CheckerConfig.from_kwargs(backend="tdd", **kwargs)
 
+    # legacy attribute echoes -----------------------------------------
+    @property
+    def method(self) -> str:
+        return self.config.method
+
+    @property
+    def strategy(self) -> str:
+        return self.config.strategy
+
+    @property
+    def jobs(self) -> Optional[int]:
+        return self.config.jobs
+
+    @property
+    def slice_depth(self) -> int:
+        return self.config.slice_depth
+
+    @property
+    def params(self) -> dict:
+        return dict(self.config.method_params)
+
+    # ------------------------------------------------------------------
     def compute_image(self, qts: QuantumTransitionSystem,
                       subspace: Optional[Subspace] = None) -> ImageResult:
-        return compute_image(qts, subspace, self.method,
-                             strategy=self.strategy, jobs=self.jobs,
-                             slice_depth=self.slice_depth, **self.params)
+        return compute_image(qts, subspace, config=self.config)
 
     def reachable(self, qts: QuantumTransitionSystem,
                   initial: Optional[Subspace] = None,
                   max_iterations: int = 0,
                   frontier: bool = False) -> ReachabilityTrace:
-        return reachable_space(qts, self.method, initial=initial,
+        cfg = self.config
+        return reachable_space(qts, cfg.method, initial=initial,
                                max_iterations=max_iterations,
-                               frontier=frontier, strategy=self.strategy,
-                               jobs=self.jobs, slice_depth=self.slice_depth,
-                               **self.params)
+                               frontier=frontier, strategy=cfg.strategy,
+                               jobs=cfg.jobs, slice_depth=cfg.slice_depth,
+                               **cfg.method_params)
 
     def __repr__(self) -> str:
         return (f"TDDBackend(method={self.method!r}, "
@@ -199,25 +224,33 @@ class DenseStatevectorBackend:
         return f"DenseStatevectorBackend(max_qubits={self.max_qubits})"
 
 
-#: parameters that only concern one backend; each backend tolerates the
-#: other's so swapping ``backend=`` is a drop-in change
-_TDD_ONLY_PARAMS = frozenset({"k", "k1", "k2", "order_policy",
-                              "strategy", "jobs", "slice_depth"})
-_DENSE_ONLY_PARAMS = frozenset({"max_qubits"})
+def make_backend(config: Union[CheckerConfig, str] = "tdd",
+                 method: Optional[str] = None, **params) -> Backend:
+    """Instantiate a backend from a :class:`CheckerConfig`.
 
-
-def make_backend(name: str = "tdd", method: str = "contraction",
-                 **params) -> Backend:
-    """Instantiate a backend by name (``method``/``params`` feed tdd)."""
-    if name == "tdd":
-        tdd_params = {key: value for key, value in params.items()
-                      if key not in _DENSE_ONLY_PARAMS}
-        return TDDBackend(method=method, **tdd_params)
-    if name == "dense":
-        dense_params = {key: value for key, value in params.items()
-                        if key not in _TDD_ONLY_PARAMS}
-        return DenseStatevectorBackend(**dense_params)
-    raise ReproError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    The legacy spelling ``make_backend(name, method=..., **params)``
+    still works (with the old drop-mismatched-params tolerance) but
+    emits a :class:`DeprecationWarning`.
+    """
+    if isinstance(config, CheckerConfig):
+        if method is not None or params:
+            raise ConfigError("make_backend takes either a CheckerConfig "
+                              "or the legacy name/keyword arguments, "
+                              "not both")
+        cfg = config
+    else:
+        if config not in BACKENDS:
+            raise ConfigError(f"unknown backend {config!r}; "
+                              f"choose from {BACKENDS}")
+        if method is not None or params:
+            _warn_legacy("make_backend(name, method=..., **params)")
+        cfg = CheckerConfig.from_kwargs(
+            backend=config, method=method or "contraction", **params)
+    if cfg.backend == "tdd":
+        return TDDBackend(cfg)
+    return DenseStatevectorBackend(
+        max_qubits=cfg.max_qubits if cfg.max_qubits is not None
+        else DENSE_MAX_QUBITS)
 
 
 # ----------------------------------------------------------------------
@@ -225,13 +258,22 @@ def make_backend(name: str = "tdd", method: str = "contraction",
 # ----------------------------------------------------------------------
 @dataclass
 class CrossValidation:
-    """Outcome of comparing the same image on two backends."""
+    """Outcome of comparing the same computation on two backends.
+
+    For an image comparison the dimensions are ``dim T(S)`` per
+    backend; for a spec comparison (``cross_validate(..., spec=...)``)
+    they are the reachable-space dimensions and the verdicts are
+    recorded as well.
+    """
 
     tdd_dimension: int
     dense_dimension: int
     agree: bool
     tdd_seconds: float
     dense_seconds: float
+    spec: Optional[str] = None
+    tdd_verdict: Optional[str] = None
+    dense_verdict: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -239,6 +281,9 @@ class CrossValidation:
 
     def __repr__(self) -> str:
         status = "agree" if self.agree else "DISAGREE"
+        if self.spec is not None:
+            return (f"CrossValidation({status} on {self.spec!r}: "
+                    f"tdd={self.tdd_verdict}, dense={self.dense_verdict})")
         return (f"CrossValidation({status}: tdd dim={self.tdd_dimension}, "
                 f"dense dim={self.dense_dimension})")
 
@@ -246,16 +291,54 @@ class CrossValidation:
 def cross_validate(qts: QuantumTransitionSystem,
                    subspace: Optional[Subspace] = None,
                    method: str = "contraction",
-                   tol: float = 1e-7, **params) -> CrossValidation:
-    """Run ``T(S)`` on both backends and compare the resulting subspaces.
+                   tol: float = 1e-7,
+                   spec=None,
+                   config: Optional[CheckerConfig] = None,
+                   **params) -> CrossValidation:
+    """Run the same computation on both backends and compare.
 
-    Agreement means equal dimension *and* mutual containment of the two
-    subspaces (projector equality up to ``tol``).  ``params`` may mix
-    method parameters and dense options — each backend takes its own.
+    Without ``spec``: one image ``T(S)`` per backend; agreement means
+    equal dimension *and* mutual containment of the two subspaces
+    (projector equality up to ``tol``).
+
+    With ``spec`` (a spec string or AST, see :mod:`repro.mc.specs`):
+    one full :meth:`~repro.mc.checker.ModelChecker.check` per backend;
+    agreement means identical verdicts and reachable dimensions.
+
+    ``config`` fixes the symbolic engine's configuration; the legacy
+    ``method``/``params`` spelling keeps working (mixed dense options
+    like ``max_qubits`` are routed to the dense backend).
     """
-    symbolic = make_backend("tdd", method=method,
-                            **params).compute_image(qts, subspace)
-    dense = make_backend("dense", **params).compute_image(qts, subspace)
+    from repro.mc.checker import ModelChecker
+    if config is None:
+        tdd_config = CheckerConfig.from_kwargs(
+            backend="tdd", method=method, **params)
+    else:
+        if config.backend != "tdd":
+            raise ConfigError("cross_validate config must describe the "
+                              "tdd engine; the dense side is implicit")
+        tdd_config = config
+    dense_config = CheckerConfig(backend="dense",
+                                 max_qubits=params.get("max_qubits"))
+
+    if spec is not None:
+        symbolic = ModelChecker(qts, tdd_config).check(spec)
+        dense = ModelChecker(qts, dense_config).check(spec)
+        agree = (symbolic.verdict == dense.verdict
+                 and symbolic.reachable_dimension
+                 == dense.reachable_dimension)
+        return CrossValidation(
+            tdd_dimension=symbolic.reachable_dimension,
+            dense_dimension=dense.reachable_dimension,
+            agree=agree,
+            tdd_seconds=symbolic.stats.seconds,
+            dense_seconds=dense.stats.seconds,
+            spec=symbolic.spec,
+            tdd_verdict=symbolic.verdict,
+            dense_verdict=dense.verdict)
+
+    symbolic = make_backend(tdd_config).compute_image(qts, subspace)
+    dense = make_backend(dense_config).compute_image(qts, subspace)
     agree = (symbolic.subspace.dimension == dense.subspace.dimension
              and symbolic.subspace.equals(dense.subspace, tol))
     return CrossValidation(

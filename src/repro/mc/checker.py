@@ -1,49 +1,144 @@
-"""The :class:`ModelChecker` facade.
+"""The :class:`ModelChecker` facade and the uniform :class:`CheckResult`.
 
-Bundles a QTS with a chosen computation backend (symbolic TDD engine or
-the dense statevector reference, see :mod:`repro.mc.backends`) and
-exposes the checks a user actually runs: one-step images, reachability,
-invariance and safety — plus :meth:`cross_validate`, which replays an
-image on the dense backend to corroborate the symbolic result on small
-instances.
+A checker bundles a QTS with one validated
+:class:`~repro.mc.config.CheckerConfig` — the single source of truth
+for engine configuration (backend, image method, execution strategy,
+worker pool, per-method parameters) — and exposes **one verb for every
+specification**: :meth:`ModelChecker.check` takes a temporal spec
+(text like ``"AG (inv & ~bad)"`` or an AST from
+:mod:`repro.mc.logic`) and returns a :class:`CheckResult` carrying the
+verdict, the violating/witness subspace and its dimension, the
+reachability trace, the kernel cost profile and the config echo — the
+same shape on the symbolic TDD backend and the dense statevector
+reference.
 
-The symbolic backend is configured along two orthogonal axes: the
-image *method* (``basic`` / ``addition`` / ``contraction`` /
-``hybrid`` — how the transition relation is partitioned, all running
-on the iterative apply kernel) and the execution *strategy*
-(``monolithic`` / ``sliced`` — whether contractions run sequentially
-in-process or as parallel cofactor subproblems on a worker pool, see
-:mod:`repro.image.sliced`).  This is the top of the public API — see
-``examples/quickstart.py`` and ``examples/parallel_sweep.py``.
+The older fine-grained checks (:meth:`image`, :meth:`reachable`,
+:meth:`check_invariant`, :meth:`check_safety`,
+:meth:`cross_validate`) remain and are implemented on the same
+machinery.  The legacy keyword constructor
+(``ModelChecker(qts, method=..., k1=..., backend=...)``) still works
+but emits a :class:`DeprecationWarning` — pass a ``CheckerConfig``
+instead::
+
+    config = CheckerConfig(method="contraction",
+                           method_params={"k1": 4, "k2": 4})
+    result = ModelChecker(qts, config).check("AG inv")
+    assert result.holds
+
+See ``examples/quickstart.py`` and ``examples/reachability_grover.py``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
+from repro.config import CHECK_EPS
+from repro.errors import SpecError
 from repro.image.base import ImageResult
 from repro.mc.backends import CrossValidation, cross_validate, make_backend
+from repro.mc.config import CheckerConfig, coerce_config
 from repro.mc.invariants import invariant_holds
+from repro.mc.logic import (Always, Atomic, Eventually, Proposition,
+                            TemporalSpec)
 from repro.mc.reachability import ReachabilityTrace
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
+from repro.utils.stats import StatsRecorder
+
+
+@dataclass
+class CheckResult:
+    """The uniform outcome of :meth:`ModelChecker.check`.
+
+    One shape for every spec kind and every backend:
+
+    * ``holds`` / ``verdict`` — the boolean verdict and its string form;
+    * ``witness`` — for a violated ``AG`` spec, the span of the
+      reachable directions that escape the property; for a satisfied
+      ``EF`` spec, the span of the reachable components inside the
+      target (``None`` when there is nothing to show);
+    * ``dimensions`` / ``iterations`` / ``converged`` — the
+      reachability trace behind a temporal verdict;
+    * ``stats`` — the kernel cost profile (wall time, peak nodes,
+      cache hit/miss, GC, sliced-strategy counters);
+    * ``config`` — the exact engine configuration that produced this
+      result, echoed back for artifacts and reproducibility.
+    """
+
+    spec: str
+    kind: str                       # "AG" | "EF" | "now"
+    holds: bool
+    model: str
+    config: CheckerConfig
+    reachable_dimension: int = 0
+    dimensions: List[int] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = True
+    witness: Optional[Subspace] = None
+    stats: StatsRecorder = field(default_factory=StatsRecorder)
+
+    @property
+    def verdict(self) -> str:
+        return "holds" if self.holds else "violated"
+
+    @property
+    def witness_dimension(self) -> int:
+        return self.witness.dimension if self.witness is not None else 0
+
+    @property
+    def seconds(self) -> float:
+        return self.stats.seconds
+
+    def as_dict(self) -> dict:
+        """A flat JSON-able summary (sweep artifacts, CSV rows)."""
+        out = {"spec": self.spec, "kind": self.kind,
+               "verdict": self.verdict, "holds": self.holds,
+               "model": self.model,
+               "reachable_dimension": self.reachable_dimension,
+               "witness_dimension": self.witness_dimension,
+               "iterations": self.iterations,
+               "converged": self.converged,
+               "config": self.config.as_dict()}
+        out.update(self.stats.as_dict())
+        return out
+
+    def __repr__(self) -> str:
+        return (f"CheckResult({self.spec!r}: {self.verdict}, "
+                f"reachable dim={self.reachable_dimension}, "
+                f"witness dim={self.witness_dimension})")
 
 
 class ModelChecker:
     """Model checking driver for one quantum transition system."""
 
     def __init__(self, qts: QuantumTransitionSystem,
-                 method: str = "contraction",
-                 backend: str = "tdd",
-                 strategy: str = "monolithic",
-                 jobs: Optional[int] = None, **params) -> None:
+                 config: Union[CheckerConfig, str, None] = None,
+                 **legacy) -> None:
+        if isinstance(config, str):
+            # the pre-config positional spelling ModelChecker(qts, "basic")
+            legacy.setdefault("method", config)
+            config = None
         self.qts = qts
-        self.method = method
-        self.strategy = strategy
-        self.jobs = jobs
-        self.params = dict(params)
-        self.backend = make_backend(backend, method=method,
-                                    strategy=strategy, jobs=jobs, **params)
+        self.config = coerce_config(config, legacy, owner="ModelChecker")
+        self.backend = make_backend(self.config)
+
+    # legacy attribute echoes -----------------------------------------
+    @property
+    def method(self) -> str:
+        return self.config.method
+
+    @property
+    def strategy(self) -> str:
+        return self.config.strategy
+
+    @property
+    def jobs(self) -> Optional[int]:
+        return self.config.jobs
+
+    @property
+    def params(self) -> dict:
+        return dict(self.config.method_params)
 
     # ------------------------------------------------------------------
     def image(self, subspace: Optional[Subspace] = None) -> ImageResult:
@@ -58,22 +153,117 @@ class ModelChecker:
                                       frontier=frontier)
 
     def cross_validate(self, subspace: Optional[Subspace] = None,
-                       tol: float = 1e-7) -> CrossValidation:
-        """Compare this checker's image against the dense reference."""
-        return cross_validate(self.qts, subspace, method=self.method,
-                              tol=tol, **self.params)
+                       tol: float = 1e-7, spec=None) -> CrossValidation:
+        """Compare this checker's computation against the dense reference.
+
+        Without ``spec``: one image per backend; with ``spec``: one
+        full :meth:`check` per backend (verdicts must agree).
+        """
+        if self.config.backend == "tdd":
+            tdd_config = self.config
+        else:
+            tdd_config = CheckerConfig()
+        return cross_validate(self.qts, subspace, tol=tol, spec=spec,
+                              config=tdd_config,
+                              max_qubits=self.config.max_qubits or None)
 
     # ------------------------------------------------------------------
-    # Subspace-level checks run on the image of whichever backend is
-    # configured — both backends return the same TDD-backed types, so
-    # one code path serves all of them.
+    # the unified specification check
+    # ------------------------------------------------------------------
+    def check(self, spec, initial: Optional[Subspace] = None,
+              max_iterations: int = 0, frontier: bool = False,
+              tol: float = CHECK_EPS) -> CheckResult:
+        """Check a temporal specification; one verb, one result shape.
+
+        ``spec`` is a spec string (``"AG inv"``, ``"EF target"``,
+        ``"AG (inv & ~bad)"`` — parsed by
+        :func:`repro.mc.specs.parse_spec`) or an AST from
+        :mod:`repro.mc.logic`.  Named atoms resolve against the
+        subspaces the model registered (plus ``init``).  Semantics:
+
+        * ``AG φ`` — the reachable space from ``initial`` (default
+          ``S0``) is contained in ``[[φ]]``; on violation the result
+          carries the escaping directions as ``witness``;
+        * ``EF φ`` — some reachable direction has a component in
+          ``[[φ]]`` (above ``tol``); when it holds the overlap
+          components are the ``witness``;
+        * a bare proposition — ``initial`` (default ``S0``) is
+          contained in ``[[φ]]`` *now*, no reachability involved.
+
+        Runs on whichever backend this checker is configured for; the
+        verdicts are backend-independent by construction (both engines
+        return the same TDD-backed subspaces).
+        """
+        from repro.mc.specs import parse_spec, resolve, to_text
+        if isinstance(spec, str):
+            spec = parse_spec(spec)
+        elif not isinstance(spec, (Proposition, TemporalSpec)):
+            raise SpecError(f"check() takes a spec string or AST, "
+                            f"got {type(spec).__name__}")
+        spec = resolve(spec, self.qts)
+        text = to_text(spec)
+        space = self.qts.space
+
+        if isinstance(spec, TemporalSpec):
+            target = spec.inner.denote(space)
+            trace = self.backend.reachable(self.qts, initial=initial,
+                                           max_iterations=max_iterations,
+                                           frontier=frontier)
+            reached = trace.subspace
+            if isinstance(spec, Always):
+                holds = target.contains(reached, tol)
+                witness = None if holds else _escaping_directions(
+                    reached, target, tol)
+                kind = Always.keyword
+            else:
+                # verdict and witness from the same criterion: some
+                # reachable basis vector has a component in the target
+                # above tol
+                witness = _overlap_witness(reached, target, tol)
+                holds = witness is not None
+                kind = Eventually.keyword
+            return CheckResult(
+                spec=text, kind=kind, holds=holds,
+                model=self.qts.name, config=self.config,
+                reachable_dimension=reached.dimension,
+                dimensions=list(trace.dimensions),
+                iterations=trace.iterations,
+                converged=trace.converged,
+                witness=witness, stats=trace.stats)
+
+        # a bare proposition: satisfaction of the initial space, now
+        target = spec.denote(space)
+        start = initial if initial is not None else self.qts.initial
+        holds = target.contains(start, tol)
+        witness = None if holds else _escaping_directions(start, target, tol)
+        return CheckResult(
+            spec=text, kind="now", holds=holds,
+            model=self.qts.name, config=self.config,
+            reachable_dimension=start.dimension,
+            dimensions=[start.dimension],
+            witness=witness)
+
+    # ------------------------------------------------------------------
+    # subspace-level checks, reimplemented on top of check()
+    # ------------------------------------------------------------------
     def check_invariant(self, subspace: Optional[Subspace] = None,
                         strict: bool = False) -> bool:
-        """Does the system stay inside ``S`` (``T(S) <= S``)?"""
+        """Does the system stay inside ``S`` (``T(S) <= S``)?
+
+        Equivalent to checking ``AG S`` from initial space ``S``, and
+        one fixpoint round decides it (``S v T(S) <= S`` iff
+        ``T(S) <= S``), so this costs a single image computation like
+        the direct comparison did.  ``strict`` requires ``T(S) = S``;
+        equality needs the image itself, so that path compares one
+        image directly (same single-image cost).
+        """
         if subspace is None:
             subspace = self.qts.initial
-        image = self.backend.compute_image(self.qts, subspace).subspace
-        return invariant_holds(image, subspace, strict)
+        if strict:
+            image = self.backend.compute_image(self.qts, subspace).subspace
+            return invariant_holds(image, subspace, strict)
+        return self.check(Always(Atomic(subspace, "S")), initial=subspace,
+                          max_iterations=1).holds
 
     def check_image_equals(self, expected: Subspace,
                            subspace: Optional[Subspace] = None) -> bool:
@@ -82,10 +272,45 @@ class ModelChecker:
 
     def check_safety(self, bound: Subspace,
                      max_iterations: int = 0) -> bool:
-        """Is every reachable state inside ``bound``?"""
-        trace = self.reachable(max_iterations)
-        return bound.contains(trace.subspace)
+        """Is every reachable state inside ``bound``?  (``AG bound``)"""
+        return self.check(Always(Atomic(bound, "bound")),
+                          max_iterations=max_iterations).holds
 
     def __repr__(self) -> str:
         return (f"ModelChecker({self.qts.name!r}, method={self.method!r}, "
                 f"backend={self.backend.name!r})")
+
+
+# ----------------------------------------------------------------------
+# witness construction
+# ----------------------------------------------------------------------
+def _witness_span(reached: Subspace, target: Subspace, tol: float,
+                  inside: bool) -> Optional[Subspace]:
+    """The span of each reached basis vector's component w.r.t. target.
+
+    ``inside=True`` keeps the projections onto the target (the overlap
+    witness of a satisfied ``EF``); ``inside=False`` keeps the
+    residuals outside it (the escaping directions of a violated
+    ``AG``).  Components with norm below ``tol`` are noise and are
+    dropped; ``None`` means nothing survived.
+    """
+    components = []
+    for vector in reached.basis:
+        projected = target.project_state(vector)
+        component = projected if inside else vector - projected
+        norm = component.norm()
+        if norm > tol:
+            components.append(component.scaled(1.0 / norm))
+    if not components:
+        return None
+    return reached.space.span(components)
+
+
+def _escaping_directions(reached: Subspace, target: Subspace,
+                         tol: float) -> Optional[Subspace]:
+    return _witness_span(reached, target, tol, inside=False)
+
+
+def _overlap_witness(reached: Subspace, target: Subspace,
+                     tol: float) -> Optional[Subspace]:
+    return _witness_span(reached, target, tol, inside=True)

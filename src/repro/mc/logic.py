@@ -3,29 +3,40 @@
 The paper's motivating specification language ([14] in its reference
 list) treats atomic propositions as closed subspaces of the state
 space: conjunction is the lattice meet, disjunction the join, and
-negation the orthocomplement.  This module gives those connectives a
-small propositional AST plus the temporal checks the case studies use:
+negation the orthocomplement.  This module is the AST of that
+specification language:
 
-* ``check_always`` — AG φ: every reachable state satisfies φ,
-* ``check_eventually_overlaps`` — EF-style: the reachable space is not
-  orthogonal to φ (some reachable state has a component in φ).
+* **state formulas** (:class:`Proposition`): :class:`Atomic` (a
+  subspace given directly), :class:`Name` (an atom resolved against a
+  model's registered subspaces, see
+  :meth:`~repro.systems.qts.QuantumTransitionSystem.register_subspace`),
+  and the connectives :class:`Meet` (``&``), :class:`Join` (``|``),
+  :class:`Not` (``~``);
+* **temporal formulas**: :class:`Always` (``AG φ`` — every reachable
+  state satisfies φ) and :class:`Eventually` (``EF φ`` — the reachable
+  space overlaps φ).
 
 A pure state ``|ψ⟩`` *satisfies* a proposition φ iff ``|ψ⟩`` lies in
 the denoted subspace — the standard BvN satisfaction relation.
+
+Specs are checked through the one front door,
+:meth:`repro.mc.checker.ModelChecker.check`, which works identically
+on the symbolic and dense backends; the module-level
+:func:`check_always` / :func:`check_eventually_overlaps` helpers are
+thin wrappers over it.  The text syntax (``"AG (inv & ~bad)"``) lives
+in :mod:`repro.mc.specs`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-from repro.mc.reachability import reachable_space
+from repro.errors import SpecError
 from repro.subspace.subspace import StateSpace, Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.tdd.tdd import TDD
 
 
 class Proposition:
-    """A quantum-logic formula; ``denote(space)`` yields its subspace."""
+    """A quantum-logic state formula; ``denote(space)`` yields its subspace."""
 
     def denote(self, space: StateSpace) -> Subspace:
         raise NotImplementedError
@@ -57,6 +68,41 @@ class Atomic(Proposition):
     def __repr__(self) -> str:
         return self.name
 
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Atomic)
+                and other.subspace is self.subspace
+                and other.name == self.name)
+
+    def __hash__(self) -> int:
+        return hash((Atomic, id(self.subspace), self.name))
+
+
+class Name(Proposition):
+    """An atom referenced by name, resolved against a model's registry.
+
+    A :class:`Name` cannot be denoted directly — it is bound to a
+    concrete subspace by :func:`repro.mc.specs.resolve` (which
+    :meth:`~repro.mc.checker.ModelChecker.check` calls for you),
+    looking the name up in the model's registered subspaces.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def denote(self, space: StateSpace) -> Subspace:
+        raise SpecError(
+            f"atom {self.name!r} is unresolved; resolve the spec against "
+            f"a model first (ModelChecker.check does this automatically)")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Name) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash((Name, self.name))
+
 
 class Meet(Proposition):
     """Conjunction: the lattice meet (subspace intersection)."""
@@ -70,6 +116,13 @@ class Meet(Proposition):
 
     def __repr__(self) -> str:
         return f"({self.left!r} & {self.right!r})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Meet) and other.left == self.left
+                and other.right == self.right)
+
+    def __hash__(self) -> int:
+        return hash((Meet, self.left, self.right))
 
 
 class Join(Proposition):
@@ -85,6 +138,13 @@ class Join(Proposition):
     def __repr__(self) -> str:
         return f"({self.left!r} | {self.right!r})"
 
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Join) and other.left == self.left
+                and other.right == self.right)
+
+    def __hash__(self) -> int:
+        return hash((Join, self.left, self.right))
+
 
 class Not(Proposition):
     """Negation: the orthocomplement."""
@@ -98,6 +158,54 @@ class Not(Proposition):
     def __repr__(self) -> str:
         return f"~{self.inner!r}"
 
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Not) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash((Not, self.inner))
+
+
+# ----------------------------------------------------------------------
+# temporal operators
+# ----------------------------------------------------------------------
+class TemporalSpec:
+    """A top-level temporal formula over one state formula."""
+
+    #: the text-syntax keyword ("AG" / "EF")
+    keyword: str = "?"
+
+    def __init__(self, inner: Proposition) -> None:
+        if isinstance(inner, TemporalSpec):
+            raise SpecError(f"temporal operators do not nest; "
+                            f"{self.keyword} must be outermost")
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        return f"{self.keyword} {self.inner!r}"
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.inner == self.inner
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.inner))
+
+
+class Always(TemporalSpec):
+    """``AG φ``: every reachable state satisfies φ."""
+
+    keyword = "AG"
+
+
+class Eventually(TemporalSpec):
+    """``EF φ``-style: the reachable space overlaps ``[[φ]]``.
+
+    True iff the reachable space is not orthogonal to the denoted
+    subspace (a necessary condition for EF φ; exact for 1-dimensional
+    reachable spaces).
+    """
+
+    keyword = "EF"
+
 
 # ----------------------------------------------------------------------
 # satisfaction and temporal checks
@@ -108,11 +216,35 @@ def satisfies(state: TDD, prop: Proposition, space: StateSpace,
     return prop.denote(space).contains_state(state, tol)
 
 
+def _temporal_check(qts: QuantumTransitionSystem, spec, method: str,
+                    params: dict) -> bool:
+    # split the reachability kwargs the pre-config helpers forwarded
+    # to reachable_space from the engine configuration proper
+    from repro.mc.checker import ModelChecker
+    from repro.mc.config import CheckerConfig
+    reach_kwargs = {name: params.pop(name)
+                    for name in ("initial", "max_iterations", "frontier")
+                    if name in params}
+    # ``gc`` was a reachable_space perf knob; check() always collects,
+    # so it is accepted for compatibility and has no effect
+    params.pop("gc", None)
+    config = CheckerConfig.from_kwargs(method=method, **params)
+    return ModelChecker(qts, config).check(spec, **reach_kwargs).holds
+
+
 def check_always(qts: QuantumTransitionSystem, prop: Proposition,
                  method: str = "contraction", **params) -> bool:
-    """AG φ: the reachable space is contained in [[φ]]."""
-    trace = reachable_space(qts, method=method, **params)
-    return prop.denote(qts.space).contains(trace.subspace)
+    """AG φ: the reachable space is contained in [[φ]].
+
+    A convenience wrapper over
+    :meth:`~repro.mc.checker.ModelChecker.check` — use ``check``
+    directly for the full :class:`~repro.mc.checker.CheckResult`
+    (witness subspace, trace, kernel stats).  ``params`` may mix
+    engine parameters with the reachability options ``initial`` /
+    ``max_iterations`` / ``frontier`` (``gc`` is accepted for
+    compatibility; collection is always on).
+    """
+    return _temporal_check(qts, Always(prop), method, dict(params))
 
 
 def check_eventually_overlaps(qts: QuantumTransitionSystem,
@@ -122,8 +254,8 @@ def check_eventually_overlaps(qts: QuantumTransitionSystem,
     """Can the system ever produce a state with a component in [[φ]]?
 
     True iff the reachable space is not orthogonal to the denoted
-    subspace (a necessary condition for EF φ; exact for 1-dimensional
-    reachable spaces).
+    subspace.  A convenience wrapper over
+    :meth:`~repro.mc.checker.ModelChecker.check` with an
+    :class:`Eventually` spec; ``params`` as in :func:`check_always`.
     """
-    trace = reachable_space(qts, method=method, **params)
-    return not trace.subspace.is_orthogonal_to(prop.denote(qts.space))
+    return _temporal_check(qts, Eventually(prop), method, dict(params))

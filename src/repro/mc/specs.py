@@ -1,0 +1,198 @@
+"""The text syntax of the specification language.
+
+A spec is a temporal formula over the Birkhoff-von Neumann proposition
+algebra of :mod:`repro.mc.logic`::
+
+    spec     := 'AG' prop | 'EF' prop | prop
+    prop     := term ('|' term)*          # join, lowest precedence
+    term     := factor ('&' factor)*      # meet
+    factor   := '~' factor | '(' prop ')' | ATOM
+    ATOM     := [A-Za-z_][A-Za-z0-9_]*    # except the keywords AG, EF
+
+``~`` binds tightest, then ``&``, then ``|`` — so ``AG (inv & ~bad)``
+and ``EF target | marked`` parse the way propositional logic reads.
+Atoms are *names*: they resolve against the subspaces a model registers
+(:meth:`~repro.systems.qts.QuantumTransitionSystem.register_subspace`),
+with ``init`` always available as the model's initial subspace.
+
+:func:`parse_spec` turns text into the AST, :func:`to_text` renders an
+AST back to parseable text (a true round-trip on the name-based ASTs
+the parser produces: ``parse_spec(to_text(s)) == s``), and
+:func:`resolve` binds :class:`~repro.mc.logic.Name` atoms to a model's
+registered subspaces.  Syntax and resolution failures raise
+:class:`~repro.errors.SpecError` with the offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple, Union
+
+from repro.errors import SpecError
+from repro.mc.logic import (Always, Atomic, Eventually, Join, Meet, Name,
+                            Not, Proposition, TemporalSpec)
+from repro.systems.qts import QuantumTransitionSystem
+
+#: anything check() accepts as a specification
+Spec = Union[Proposition, TemporalSpec]
+
+_TEMPORAL_KEYWORDS = {"AG": Always, "EF": Eventually}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>~)
+  | (?P<atom>[A-Za-z_][A-Za-z0-9_]*)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """``(kind, value, position)`` triples; rejects unknown characters."""
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SpecError(f"unexpected character {text[position]!r} at "
+                            f"position {position} in spec {text!r}")
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), match.start()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    def peek(self):
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return ("end", "", len(self.text))
+
+    def advance(self):
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def fail(self, message: str):
+        kind, value, position = self.peek()
+        found = "end of spec" if kind == "end" else repr(value)
+        raise SpecError(f"{message}, found {found} at position {position} "
+                        f"in spec {self.text!r}")
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Spec:
+        if not self.tokens:
+            raise SpecError("empty specification")
+        kind, value, _ = self.peek()
+        temporal = None
+        if kind == "atom" and value in _TEMPORAL_KEYWORDS:
+            temporal = _TEMPORAL_KEYWORDS[value]
+            self.advance()
+        prop = self.parse_or()
+        if self.peek()[0] != "end":
+            self.fail("expected '&', '|' or end of spec")
+        return temporal(prop) if temporal else prop
+
+    def parse_or(self) -> Proposition:
+        node = self.parse_and()
+        while self.peek()[0] == "or":
+            self.advance()
+            node = Join(node, self.parse_and())
+        return node
+
+    def parse_and(self) -> Proposition:
+        node = self.parse_factor()
+        while self.peek()[0] == "and":
+            self.advance()
+            node = Meet(node, self.parse_factor())
+        return node
+
+    def parse_factor(self) -> Proposition:
+        kind, value, position = self.peek()
+        if kind == "not":
+            self.advance()
+            return Not(self.parse_factor())
+        if kind == "lparen":
+            self.advance()
+            node = self.parse_or()
+            if self.peek()[0] != "rparen":
+                self.fail("expected ')'")
+            self.advance()
+            return node
+        if kind == "atom":
+            if value in _TEMPORAL_KEYWORDS:
+                raise SpecError(
+                    f"temporal operator {value!r} at position {position} "
+                    f"must be outermost in spec {self.text!r}")
+            self.advance()
+            return Name(value)
+        self.fail("expected an atom, '~' or '('")
+
+
+def parse_spec(text: str) -> Spec:
+    """Parse a specification string into its AST.
+
+    Returns an :class:`~repro.mc.logic.Always` /
+    :class:`~repro.mc.logic.Eventually` wrapper when the spec starts
+    with ``AG`` / ``EF``, otherwise a bare proposition (checked against
+    the initial subspace).  Raises :class:`~repro.errors.SpecError`
+    with position information on malformed input.
+    """
+    if not isinstance(text, str):
+        raise SpecError(f"specification must be a string, "
+                        f"got {type(text).__name__}")
+    return _Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# rendering and resolution
+# ----------------------------------------------------------------------
+def to_text(spec: Spec) -> str:
+    """Render an AST back to parseable text (the round-trip inverse)."""
+    if isinstance(spec, TemporalSpec):
+        return f"{spec.keyword} {to_text(spec.inner)}"
+    if isinstance(spec, (Name, Atomic)):
+        return spec.name
+    if isinstance(spec, Not):
+        return f"~{to_text(spec.inner)}"
+    if isinstance(spec, Meet):
+        return f"({to_text(spec.left)} & {to_text(spec.right)})"
+    if isinstance(spec, Join):
+        return f"({to_text(spec.left)} | {to_text(spec.right)})"
+    raise SpecError(f"not a specification node: {spec!r}")
+
+
+def resolve(spec: Spec, qts: QuantumTransitionSystem) -> Spec:
+    """Bind every :class:`~repro.mc.logic.Name` atom to a subspace.
+
+    Names resolve through
+    :meth:`~repro.systems.qts.QuantumTransitionSystem.named_subspace`
+    (the model's registered subspaces, plus ``init`` for the initial
+    space); unknown names raise with the list of available atoms.
+    Already-:class:`~repro.mc.logic.Atomic` nodes pass through, so
+    resolution is idempotent.
+    """
+    if isinstance(spec, TemporalSpec):
+        return type(spec)(resolve(spec.inner, qts))
+    if isinstance(spec, Name):
+        return Atomic(qts.named_subspace(spec.name), spec.name)
+    if isinstance(spec, Atomic):
+        return spec
+    if isinstance(spec, Not):
+        return Not(resolve(spec.inner, qts))
+    if isinstance(spec, Meet):
+        return Meet(resolve(spec.left, qts), resolve(spec.right, qts))
+    if isinstance(spec, Join):
+        return Join(resolve(spec.left, qts), resolve(spec.right, qts))
+    raise SpecError(f"not a specification node: {spec!r}")

@@ -20,11 +20,37 @@ from repro.subspace.subspace import StateSpace, Subspace
 from repro.tdd.slicing import first_nonzero_assignment
 from repro.tdd.tdd import TDD
 
+#: Frobenius norm below which a deflation remainder counts as
+#: floating-point cancellation residue rather than structure: a genuine
+#: projector of dimension d >= 1 has norm sqrt(d) >= 1, while the
+#: residue left by chained subspace operations (nested complements,
+#: meets) accumulates around 1e-7.
+RESIDUE_EPS = 1e-6
+
 
 def apply_projector(space: StateSpace, projector: TDD, state: TDD) -> TDD:
     """``P |state>`` for a projector tensor P[bra, ket]."""
     result = projector.contract(state, space.kets)
     return result.rename(dict(zip(space.bras, space.kets)))
+
+
+def _greedy_column(space: StateSpace, current: TDD) -> TDD:
+    """The column reached by descending into the higher-norm cofactor.
+
+    The leftmost structurally non-zero path can lead to a column whose
+    entries cancel numerically (edge weights are individually
+    significant, their products are not — typical residue of chained
+    subspace operations).  Fixing each ket to the branch holding more
+    Frobenius mass instead keeps at least half the squared mass per
+    level, so the extracted column is never an all-cancellation one
+    while significant mass remains.
+    """
+    work = current
+    for ket in space.kets:
+        zero = work.slice({ket: 0})
+        one = work.slice({ket: 1})
+        work = one if one.norm() > zero.norm() else zero
+    return work
 
 
 def basis_decompose(space: StateSpace, projector: TDD,
@@ -42,11 +68,12 @@ def basis_decompose(space: StateSpace, projector: TDD,
     limit = max_dim if max_dim > 0 else 2 ** space.num_qubits
 
     out = Subspace(space)
+    zero_tol = max(tol, RESIDUE_EPS)
     current = projector
     for _ in range(limit):
         # Frobenius norm of what remains: a projector has norm
-        # sqrt(dim), so anything below tol is cancellation residue.
-        if current.is_zero or current.norm() <= tol:
+        # sqrt(dim) >= 1, so anything below zero_tol is residue.
+        if current.is_zero or current.norm() <= zero_tol:
             break
         assignment = first_nonzero_assignment(current.root, ket_levels)
         if assignment is None:
@@ -60,6 +87,12 @@ def basis_decompose(space: StateSpace, projector: TDD,
         column = column.rename(dict(zip(space.bras, space.kets)))
         norm = column.norm()
         if norm <= tol:
+            # the leftmost path cancelled numerically; retry with the
+            # max-mass descent before declaring the input broken
+            column = _greedy_column(space, current).rename(
+                dict(zip(space.bras, space.kets)))
+            norm = column.norm()
+        if norm <= tol:
             raise SubspaceError("non-zero path led to a negligible column; "
                                 "input is not a projector")
         vector = column.scaled(1.0 / norm)
@@ -72,7 +105,7 @@ def basis_decompose(space: StateSpace, projector: TDD,
             vector.conj())
         current = current - outer
     else:
-        if not current.is_zero and current.norm() > tol:
+        if not current.is_zero and current.norm() > zero_tol:
             raise SubspaceError("basis decomposition did not terminate: "
                                 "input is not a projector")
     return out

@@ -3,6 +3,13 @@
 One constructor per benchmark family of Table I (with the paper's
 "commonly used input states" as the initial subspace) plus the three
 worked examples of Section III.A.
+
+Builders register the subspaces worth naming as *spec atoms*
+(``qts.register_subspace``), so the specification language of
+:mod:`repro.mc.specs` can reference them by name: grover registers
+``inv``/``plus``/``marked``/``ancilla_plus``, ghz ``zero``/``target``,
+bitflip ``errors``/``codeword``, qrw ``start`` — and ``init`` always
+denotes the initial subspace of any model.
 """
 
 from __future__ import annotations
@@ -31,11 +38,20 @@ _ONE = np.array([0, 1], dtype=complex)
 
 
 def ghz_qts(num_qubits: int) -> QuantumTransitionSystem:
-    """GHZ preparation from ``S0 = span{|0...0>}``."""
+    """GHZ preparation from ``S0 = span{|0...0>}``.
+
+    Registered spec atoms: ``zero`` (the all-zero basis ray) and
+    ``target`` (the GHZ state ``(|0...0> + |1...1>)/sqrt(2)``).
+    """
     op = QuantumOperation.unitary("ghz", ghz_circuit(num_qubits))
     qts = QuantumTransitionSystem(num_qubits, [op],
                                   name=f"ghz{num_qubits}")
     qts.set_initial_basis_states([[0] * num_qubits])
+    zero = qts.space.basis_state([0] * num_qubits)
+    ones = qts.space.basis_state([1] * num_qubits)
+    ghz_state = (zero + ones).scaled(1 / math.sqrt(2))
+    qts.register_subspace("zero", qts.space.span([zero]))
+    qts.register_subspace("target", qts.space.span([ghz_state]))
     return qts
 
 
@@ -72,13 +88,21 @@ def grover_qts(num_qubits: int,
                                   name=f"grover{num_qubits}")
     m = num_qubits - 1
     plus_minus = qts.space.product_state([_PLUS] * m + [_MINUS])
+    ones_minus = qts.space.product_state([_ONE] * m + [_MINUS])
     if initial == "plus":
         qts.set_initial_states([plus_minus])
     elif initial == "invariant":
-        ones_minus = qts.space.product_state([_ONE] * m + [_MINUS])
         qts.set_initial_states([plus_minus, ones_minus])
     else:
         raise SystemError_(f"unknown grover initial space {initial!r}")
+    # spec atoms: the III.A.1 invariant plane and its two spanning rays,
+    # plus the unreachable ancilla-|+> marked ray (an EF counterexample)
+    qts.register_subspace("plus", qts.space.span([plus_minus]))
+    qts.register_subspace("marked", qts.space.span([ones_minus]))
+    qts.register_subspace("inv",
+                          qts.space.span([plus_minus, ones_minus]))
+    qts.register_subspace("ancilla_plus", qts.space.span(
+        [qts.space.product_state([_ONE] * m + [_PLUS])]))
     return qts
 
 
@@ -127,6 +151,9 @@ def qrw_qts(num_qubits: int, noise_probability: float = 0.1,
                                   name=f"qrw{num_qubits}")
     position_bits = int_to_bits(start_position, num_qubits - 1)
     qts.set_initial_basis_states([[0] + position_bits])
+    qts.register_subspace("start",
+                          qts.space.span([qts.space.basis_state(
+                              [0] + position_bits)]))
     return qts
 
 
@@ -190,6 +217,10 @@ def bitflip_qts() -> QuantumTransitionSystem:
         [0, 1, 0, 0, 0, 0],
         [0, 0, 1, 0, 0, 0],
     ])
+    # spec atoms: the corrected codeword ray and the error states
+    qts.register_subspace("codeword", qts.space.span(
+        [qts.space.basis_state([0] * 6)]))
+    qts.register_subspace("errors", qts.initial)
     return qts
 
 

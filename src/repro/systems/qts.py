@@ -10,7 +10,8 @@ canonical order.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import SystemError_
 from repro.indices.index import Index
@@ -53,6 +54,9 @@ class QuantumTransitionSystem:
         self._register_indices()
         #: The initial subspace S0; populate via set_initial_* helpers.
         self.initial: Subspace = self.space.zero_subspace()
+        #: Named subspaces — the atoms the specification language
+        #: resolves (see repro.mc.specs); ``init`` is always available.
+        self.named_subspaces: Dict[str, Subspace] = {}
 
     # ------------------------------------------------------------------
     def _register_indices(self) -> None:
@@ -78,6 +82,42 @@ class QuantumTransitionSystem:
                                  ) -> "QuantumTransitionSystem":
         states = [self.space.basis_state(bits) for bits in bit_strings]
         return self.set_initial_states(states)
+
+    # ------------------------------------------------------------------
+    # named subspaces (specification atoms)
+    # ------------------------------------------------------------------
+    _NAME_PATTERN = r"[A-Za-z_][A-Za-z0-9_]*"
+
+    def register_subspace(self, name: str,
+                          subspace: Subspace) -> "QuantumTransitionSystem":
+        """Register ``subspace`` as the atom ``name`` for spec checking.
+
+        Names must be identifiers (so the spec parser can reference
+        them) other than the reserved temporal keywords and ``init``
+        (which always denotes the current initial subspace).
+        """
+        if not re.fullmatch(self._NAME_PATTERN, name):
+            raise SystemError_(f"subspace name {name!r} is not an "
+                               f"identifier")
+        if name in ("AG", "EF", "init"):
+            raise SystemError_(f"subspace name {name!r} is reserved")
+        if subspace.space is not self.space:
+            raise SystemError_(f"subspace {name!r} lives in a different "
+                               f"state space")
+        self.named_subspaces[name] = subspace
+        return self
+
+    def named_subspace(self, name: str) -> Subspace:
+        """Look up a registered atom (``init`` = the initial subspace)."""
+        if name == "init":
+            return self.initial
+        try:
+            return self.named_subspaces[name]
+        except KeyError:
+            available = ", ".join(sorted(["init", *self.named_subspaces]))
+            raise SystemError_(
+                f"model {self.name!r} has no subspace named {name!r}; "
+                f"available atoms: {available}") from None
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,164 @@
+"""The spec text language: parsing, precedence, round-trips, errors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.mc.logic import (Always, Atomic, Eventually, Join, Meet, Name,
+                            Not)
+from repro.mc.specs import parse_spec, resolve, to_text
+from repro.systems import models
+
+
+class TestParsing:
+    def test_bare_atom(self):
+        assert parse_spec("inv") == Name("inv")
+
+    def test_temporal_wrappers(self):
+        assert parse_spec("AG inv") == Always(Name("inv"))
+        assert parse_spec("EF target") == Eventually(Name("target"))
+
+    def test_connectives(self):
+        assert parse_spec("a & b") == Meet(Name("a"), Name("b"))
+        assert parse_spec("a | b") == Join(Name("a"), Name("b"))
+        assert parse_spec("~a") == Not(Name("a"))
+
+    def test_issue_example(self):
+        spec = parse_spec("AG (inv & ~bad)")
+        assert spec == Always(Meet(Name("inv"), Not(Name("bad"))))
+
+    def test_whitespace_insensitive(self):
+        assert parse_spec("AG(a&~b)") == parse_spec("AG ( a & ~ b )")
+
+
+class TestPrecedence:
+    def test_meet_binds_tighter_than_join(self):
+        assert parse_spec("a & b | c") == \
+            Join(Meet(Name("a"), Name("b")), Name("c"))
+        assert parse_spec("a | b & c") == \
+            Join(Name("a"), Meet(Name("b"), Name("c")))
+
+    def test_not_binds_tightest(self):
+        assert parse_spec("~a & b") == Meet(Not(Name("a")), Name("b"))
+        assert parse_spec("~(a & b)") == Not(Meet(Name("a"), Name("b")))
+
+    def test_parentheses_override(self):
+        assert parse_spec("a & (b | c)") == \
+            Meet(Name("a"), Join(Name("b"), Name("c")))
+
+    def test_left_associativity(self):
+        assert parse_spec("a & b & c") == \
+            Meet(Meet(Name("a"), Name("b")), Name("c"))
+
+    def test_double_negation_parses(self):
+        assert parse_spec("~~a") == Not(Not(Name("a")))
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text,fragment", [
+        ("", "empty"),
+        ("a &", "end of spec"),
+        ("a & & b", "'&'"),
+        ("(a | b", "')'"),
+        ("a b", "position"),
+        ("AG", "end of spec"),
+        ("a @ b", "'@'"),
+        ("AG EF a", "outermost"),
+        ("a & AG b", "outermost"),
+    ])
+    def test_message_mentions_the_problem(self, text, fragment):
+        with pytest.raises(SpecError) as excinfo:
+            parse_spec(text)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SpecError, match="position 4"):
+            parse_spec("a & ?")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SpecError, match="string"):
+            parse_spec(42)
+
+
+# ----------------------------------------------------------------------
+# property tests: round-trip through to_text
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["p", "q", "inv", "marked", "bad_states", "x1"])
+
+
+def _props(depth: int):
+    node = st.builds(Name, _names)
+    for _ in range(depth):
+        node = st.one_of(
+            st.builds(Name, _names),
+            st.builds(Not, node),
+            st.builds(Meet, node, node),
+            st.builds(Join, node, node))
+    return node
+
+
+_specs = st.one_of(_props(3), st.builds(Always, _props(2)),
+                   st.builds(Eventually, _props(2)))
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_specs)
+    def test_parse_inverts_to_text(self, spec):
+        assert parse_spec(to_text(spec)) == spec
+
+    @settings(max_examples=100, deadline=None)
+    @given(_specs)
+    def test_to_text_is_stable(self, spec):
+        assert to_text(parse_spec(to_text(spec))) == to_text(spec)
+
+
+class TestResolution:
+    def test_names_bind_to_registered_subspaces(self):
+        qts = models.grover_qts(3)
+        spec = resolve(parse_spec("AG (inv | marked)"), qts)
+        atom = spec.inner.left
+        assert isinstance(atom, Atomic)
+        assert atom.subspace is qts.named_subspace("inv")
+
+    def test_init_always_resolves(self):
+        qts = models.ghz_qts(3)
+        spec = resolve(parse_spec("EF init"), qts)
+        assert spec.inner.subspace is qts.initial
+
+    def test_unknown_name_lists_available_atoms(self):
+        qts = models.grover_qts(3)
+        with pytest.raises(Exception, match="available atoms.*inv"):
+            resolve(parse_spec("AG nonsense"), qts)
+
+    def test_resolution_is_idempotent(self):
+        qts = models.grover_qts(3)
+        once = resolve(parse_spec("AG ~inv"), qts)
+        assert resolve(once, qts) == once
+
+    def test_unresolved_name_cannot_denote(self):
+        qts = models.ghz_qts(3)
+        with pytest.raises(SpecError, match="unresolved"):
+            Name("zero").denote(qts.space)
+
+
+class TestRegistry:
+    def test_register_rejects_bad_names(self):
+        qts = models.ghz_qts(3)
+        sub = qts.space.span([qts.space.basis_state([0, 0, 0])])
+        for bad in ("AG", "EF", "init", "1bad", "a-b", ""):
+            with pytest.raises(Exception):
+                qts.register_subspace(bad, sub)
+
+    def test_register_rejects_foreign_space(self):
+        qts1 = models.ghz_qts(3)
+        qts2 = models.ghz_qts(3)
+        with pytest.raises(Exception, match="different state space"):
+            qts1.register_subspace("other", qts2.initial)
+
+    def test_builders_register_atoms(self):
+        assert models.grover_qts(3).named_subspace("inv").dimension == 2
+        assert models.ghz_qts(3).named_subspace("target").dimension == 1
+        assert models.bitflip_qts().named_subspace("codeword").dimension == 1
+        assert models.qrw_qts(3).named_subspace("start").dimension == 1

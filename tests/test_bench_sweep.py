@@ -10,6 +10,7 @@ from repro.bench.sweep import (CSV_COLUMNS, RunSpec, SweepSpec,
                                execute_run, format_records, run_sweep)
 from repro.bench import table1, table2
 from repro.errors import ReproError
+from repro.mc.config import CheckerConfig
 
 
 def tiny_spec(name="tiny", strategies=("monolithic",)):
@@ -51,6 +52,55 @@ class TestRunSpec:
             RunSpec(**kwargs)
 
 
+class TestRunSpecConfigForm:
+    def test_config_form_does_not_warn(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            spec = RunSpec(model="ghz", size=4,
+                           config=CheckerConfig(method="basic"))
+        assert spec.method == "basic"
+        assert spec.run_id == "ghz4/basic/tdd/monolithic"
+
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            RunSpec(model="ghz", size=4, method="basic")
+
+    def test_config_plus_legacy_rejected(self):
+        with pytest.raises(ReproError, match="not both"):
+            RunSpec(model="ghz", size=4, config=CheckerConfig(),
+                    method="basic")
+
+    def test_run_id_format_survives_the_api_change(self):
+        # resume keys must match pre-config artifacts
+        legacy_style = RunSpec(
+            model="grover", size=5,
+            config=CheckerConfig(method="contraction", strategy="sliced",
+                                 jobs=4,
+                                 method_params={"k1": 2, "k2": 3}),
+            model_params={"iterations": 2})
+        assert legacy_style.run_id == (
+            "grover5/contraction/tdd/sliced/jobs=4,depth=2/"
+            "k1=2,k2=3/iterations=2")
+
+    def test_spec_run_id_and_round_trip(self):
+        run = RunSpec(model="grover", size=3,
+                      config=CheckerConfig(method="basic"),
+                      spec="AG inv")
+        assert run.run_id.endswith("check[AG inv]")
+        assert RunSpec.from_dict(run.as_dict()) == run
+
+    def test_from_dict_accepts_legacy_flat_schema(self):
+        # the pre-config artifact/spec-file schema still parses
+        run = RunSpec.from_dict({
+            "model": "ghz", "size": 4, "method": "basic",
+            "backend": "tdd", "strategy": "monolithic", "jobs": 1,
+            "slice_depth": 2, "method_params": {}, "model_params": {},
+            "label": "ghz4"})
+        assert run.method == "basic"
+        assert run.run_id == "ghz4/basic/tdd/monolithic"
+
+
 class TestSweepSpec:
     def test_axes_product(self):
         spec = SweepSpec.from_axes("s", ["ghz", "bv"], [3, 4],
@@ -83,6 +133,30 @@ class TestSweepSpec:
         assert [r.run_id for r in spec.runs] == \
             [r.run_id for r in tiny_spec().runs]
 
+    def test_specs_axis_adds_property_rows(self):
+        spec = SweepSpec.from_axes("s", ["grover"], [3],
+                                   methods=["basic"],
+                                   specs=[None, "AG inv"])
+        assert len(spec.runs) == 2
+        assert spec.runs[0].spec is None
+        assert spec.runs[1].spec == "AG inv"
+
+    def test_dense_runs_deduplicated_across_methods(self):
+        # the dense backend ignores methods/strategies: crossing it
+        # with those axes must not duplicate work
+        spec = SweepSpec.from_axes("s", ["ghz"], [3],
+                                   methods=["basic", "contraction"],
+                                   backends=["tdd", "dense"])
+        dense = [r for r in spec.runs if r.backend == "dense"]
+        assert len(dense) == 1
+        assert len([r for r in spec.runs if r.backend == "tdd"]) == 2
+
+    def test_from_dict_specs_axis(self):
+        spec = SweepSpec.from_dict({
+            "name": "props", "models": ["grover"], "sizes": [3],
+            "methods": ["basic"], "specs": ["EF marked"]})
+        assert spec.runs[0].spec == "EF marked"
+
 
 class TestExecuteRun:
     def test_record_schema(self):
@@ -105,6 +179,30 @@ class TestExecuteRun:
                                      method="basic", backend="dense"))
         assert record["failed"]
         assert "ReproError" in record["error"]
+
+    def test_property_check_record(self):
+        record = execute_run(RunSpec(
+            model="grover", size=3, config=CheckerConfig(method="basic"),
+            spec="AG inv"))
+        assert record["verdict"] == "holds"
+        assert record["spec"] == "AG inv"
+        assert record["dimension"] == 2      # the reachable dimension
+        assert record["converged"] is True
+        assert not record["failed"]
+
+    def test_violated_check_record(self):
+        record = execute_run(RunSpec(
+            model="grover", size=3, config=CheckerConfig(method="basic"),
+            spec="AG marked"))
+        assert record["verdict"] == "violated"
+        assert record["witness_dimension"] >= 1
+
+    def test_check_record_on_dense_backend(self):
+        record = execute_run(RunSpec(
+            model="grover", size=3,
+            config=CheckerConfig(backend="dense"), spec="AG inv"))
+        assert record["verdict"] == "holds"
+        assert record["backend"] == "dense"
 
 
 class TestRunSweep:
@@ -177,6 +275,30 @@ class TestRunSweep:
         result = run_sweep(tiny_spec())
         text = format_records(result.records)
         assert "ghz3/basic/tdd/monolithic" in text
+
+    def test_property_check_sweep_resumes_and_emits_verdict_csv(
+            self, tmp_path):
+        # the acceptance scenario: a sweep spec JSON containing a
+        # property check resumes and its CSV carries verdict columns
+        spec_path = tmp_path / "props.json"
+        spec_path.write_text(json.dumps({
+            "name": "props", "models": ["grover"], "sizes": [3],
+            "methods": ["basic"], "specs": ["AG inv", "AG marked"]}))
+        spec = SweepSpec.from_json_file(str(spec_path))
+        out_dir = tmp_path / "artifacts"
+        first = run_sweep(spec, out_dir=str(out_dir))
+        assert [r["verdict"] for r in first.records] == \
+            ["holds", "violated"]
+        again = run_sweep(SweepSpec.from_json_file(str(spec_path)),
+                          out_dir=str(out_dir))
+        assert again.skipped == 2
+        assert [r["verdict"] for r in again.records] == \
+            ["holds", "violated"]
+        with open(out_dir / "props.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["verdict"] for row in rows] == ["holds", "violated"]
+        assert rows[0]["spec"] == "AG inv"
+        assert rows[1]["witness_dimension"] != "0"
 
 
 class TestBenchRowAdapter:

@@ -32,6 +32,83 @@ class TestReach:
         assert "frontier=True" in capsys.readouterr().out
 
 
+class TestCheck:
+    def test_ag_inv_holds(self, capsys):
+        assert main(["check", "grover", "--size", "4",
+                     "--spec", "AG inv"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict    = holds" in out
+        assert "spec       = AG inv" in out
+
+    def test_n_alias_for_size(self, capsys):
+        assert main(["check", "grover", "--n", "4",
+                     "--spec", "AG inv"]) == 0
+
+    def test_violated_spec_exits_one(self, capsys):
+        assert main(["check", "grover", "--size", "3",
+                     "--spec", "AG marked"]) == 1
+        out = capsys.readouterr().out
+        assert "violated" in out
+        assert "witness" in out
+
+    def test_same_verdict_on_dense_backend(self, capsys):
+        assert main(["check", "grover", "--size", "3",
+                     "--spec", "AG inv", "--backend", "dense"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_all_methods_agree(self, capsys):
+        for method in ("basic", "addition", "contraction", "hybrid"):
+            assert main(["check", "grover", "--size", "3",
+                         "--spec", "EF marked", "--method", method]) == 0
+
+    def test_sliced_strategy(self, capsys):
+        assert main(["check", "grover", "--size", "3",
+                     "--spec", "AG inv", "--strategy", "sliced"]) == 0
+
+    def test_unknown_atom_reports_available(self, capsys):
+        assert main(["check", "grover", "--size", "3",
+                     "--spec", "AG nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "available atoms" in err
+        assert "inv" in err
+
+    def test_syntax_error_reports_position(self, capsys):
+        assert main(["check", "ghz", "--size", "3",
+                     "--spec", "AG (zero"]) == 2
+        assert "position" in capsys.readouterr().err
+
+
+class TestConfigValidation:
+    def test_dense_with_explicit_tdd_flags_rejected(self, capsys):
+        # regression: these used to be silently dropped
+        assert main(["image", "ghz", "--size", "3", "--backend", "dense",
+                     "--method", "basic"]) == 2
+        assert "tdd-only" in capsys.readouterr().err
+
+    def test_dense_with_explicit_jobs_rejected(self, capsys):
+        assert main(["image", "ghz", "--size", "3", "--backend", "dense",
+                     "--strategy", "sliced", "--jobs", "2"]) == 2
+        assert "tdd-only" in capsys.readouterr().err
+
+    def test_jobs_without_sliced_rejected(self, capsys):
+        assert main(["image", "ghz", "--size", "3", "--jobs", "2"]) == 2
+        assert "sliced" in capsys.readouterr().err
+
+    def test_dense_with_default_flags_still_works(self, capsys):
+        assert main(["image", "ghz", "--size", "3",
+                     "--backend", "dense"]) == 0
+
+
+class TestCrosscheckSpec:
+    def test_spec_cross_validation(self, capsys):
+        assert main(["crosscheck", "grover", "--size", "3",
+                     "--spec", "AG inv"]) == 0
+        out = capsys.readouterr().out
+        assert "tdd       = holds" in out
+        assert "dense     = holds" in out
+        assert "agree     = True" in out
+
+
 class TestInvariant:
     def test_grover_invariant_exit_zero(self, capsys):
         code = main(["invariant", "grover", "--size", "4",
@@ -85,6 +162,17 @@ class TestStrategyFlags:
 
 
 class TestSweepCommand:
+    def test_check_axis(self, capsys, tmp_path):
+        assert main(["sweep", "--models", "grover", "--sizes", "3",
+                     "--methods", "basic", "--check", "AG inv",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "check[AG inv]" in out
+        assert "holds" in out
+        csv_text = (tmp_path / "sweep.csv").read_text()
+        assert "verdict" in csv_text.splitlines()[0]
+        assert "holds" in csv_text
+
     def test_axes_run(self, capsys, tmp_path):
         assert main(["sweep", "--models", "ghz", "--sizes", "3",
                      "--methods", "basic", "--out", str(tmp_path)]) == 0
@@ -105,6 +193,12 @@ class TestSweepCommand:
     def test_missing_axes_rejected(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--models", "ghz"])  # no --sizes
+
+    def test_sweep_errors_use_the_uniform_error_path(self, capsys):
+        # the sweep fast-path must share the error contract of every
+        # other subcommand: "error: ..." on stderr, exit code 2
+        assert main(["sweep", "--models", "nosuch", "--sizes", "3"]) == 2
+        assert "error: unknown model" in capsys.readouterr().err
 
 
 class TestBenchForwarders:

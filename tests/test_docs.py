@@ -43,7 +43,7 @@ class TestCliReferenceInSync:
         match = re.search(r"\{([a-z0-9,]+)\}", text)
         assert match, "no subcommand list in --help output"
         subcommands = match.group(1).split(",")
-        assert set(subcommands) == {"image", "reach", "invariant",
+        assert set(subcommands) == {"image", "reach", "check", "invariant",
                                     "crosscheck", "sweep", "table1",
                                     "table2", "smoke"}
         for name in subcommands:
@@ -59,11 +59,20 @@ class TestCliReferenceInSync:
                 readme.replace("-", ""), \
                 f"flag {flag} missing from README"
 
+    def test_check_flags_documented(self, capsys, readme):
+        text = help_text(capsys, ["check", "--help"])
+        for flag in ("--spec", "--max-iterations", "--backend",
+                     "--strategy"):
+            assert flag in text
+            assert flag.lstrip("-").replace("-", "") in \
+                readme.replace("-", ""), \
+                f"flag {flag} missing from README"
+
     def test_sweep_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["sweep", "--help"])
         for flag in ("--spec", "--models", "--sizes", "--methods",
-                     "--backends", "--strategies", "--jobs", "--out",
-                     "--no-resume"):
+                     "--backends", "--strategies", "--check", "--jobs",
+                     "--out", "--no-resume"):
             assert flag in text
             assert flag in readme, f"flag {flag} missing from README"
 
