@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import itertools
 import json
 import os
 import sys
@@ -48,12 +49,13 @@ from repro.utils.tables import format_table
 #: the flat column schema of the CSV artifact (and of every record)
 CSV_COLUMNS = (
     "run_id", "label", "model", "size", "method", "backend", "strategy",
-    "jobs", "slice_depth", "spec", "verdict", "witness_dimension",
+    "jobs", "slice_depth", "direction", "bound", "spec", "verdict",
+    "witness_dimension", "trace_length", "trace_valid",
     "iterations", "converged", "dimension", "seconds", "max_nodes",
     "contractions", "additions", "cache_hits", "cache_misses",
     "cache_hit_rate", "cache_evictions", "slices", "parallel_tasks",
-    "gc_runs", "nodes_reclaimed", "peak_live_nodes", "live_nodes",
-    "failed", "error",
+    "pool_fallbacks", "gc_runs", "nodes_reclaimed", "peak_live_nodes",
+    "live_nodes", "failed", "error",
 )
 
 #: RunSpec keyword arguments that predate CheckerConfig
@@ -130,6 +132,14 @@ class RunSpec:
     def method_params(self) -> dict:
         return dict(self.config.method_params)
 
+    @property
+    def direction(self) -> str:
+        return self.config.direction
+
+    @property
+    def bound(self) -> int:
+        return self.config.bound
+
     # ------------------------------------------------------------------
     @property
     def run_id(self) -> str:
@@ -147,6 +157,10 @@ class RunSpec:
                  self.strategy]
         if self.strategy != "monolithic":
             parts.append(f"jobs={self.jobs},depth={self.slice_depth}")
+        if self.direction != "forward":
+            parts.append(f"dir={self.direction}")
+        if self.bound:
+            parts.append(f"bound={self.bound}")
         if self.method_params:
             parts.append(fmt(self.method_params))
         if self.model_params:
@@ -206,6 +220,8 @@ class SweepSpec:
                   backends: Sequence[str] = ("tdd",),
                   strategies: Sequence[str] = ("monolithic",),
                   specs: Sequence[Optional[str]] = (None,),
+                  directions: Sequence[str] = ("forward",),
+                  bounds: Sequence[int] = (0,),
                   jobs_per_run: int = 1,
                   slice_depth: int = DEFAULT_SLICE_DEPTH,
                   method_params: Optional[Dict[str, dict]] = None,
@@ -215,42 +231,46 @@ class SweepSpec:
         ``method_params`` maps a method name to its parameter dict
         (e.g. ``{"contraction": {"k1": 4, "k2": 4}}``);
         ``model_params`` applies to every run; ``specs`` adds
-        property-check rows (``None`` = plain image benchmark).  The
-        dense backend ignores methods and strategies, so crossing it
-        with those axes would duplicate work — duplicate
-        configurations are dropped (by ``run_id``).
+        property-check rows (``None`` = plain image benchmark);
+        ``directions``/``bounds`` cross the grid with backward
+        (preimage) analysis and depth-limited fixpoints.  The dense
+        backend ignores methods and strategies, so crossing it with
+        those axes would duplicate work — duplicate configurations are
+        dropped (by ``run_id``).
         """
         method_params = method_params or {}
         runs: List[RunSpec] = []
         seen = set()
-        for model in model_names:
-            for size in sizes:
-                for spec_text in specs:
-                    for backend in backends:
-                        for method in methods:
-                            for strategy in strategies:
-                                if backend == "dense":
-                                    config = CheckerConfig(backend="dense")
-                                else:
-                                    sliced = strategy == "sliced"
-                                    config = CheckerConfig(
-                                        method=method, strategy=strategy,
-                                        jobs=(jobs_per_run if sliced
-                                              and jobs_per_run > 1
-                                              else None),
-                                        slice_depth=(slice_depth if sliced
-                                                     else
-                                                     DEFAULT_SLICE_DEPTH),
-                                        method_params=dict(
-                                            method_params.get(method, {})))
-                                run = RunSpec(
-                                    model=model, size=size, config=config,
-                                    spec=spec_text,
-                                    model_params=dict(model_params or {}))
-                                if run.run_id in seen:
-                                    continue
-                                seen.add(run.run_id)
-                                runs.append(run)
+        cells = itertools.product(model_names, sizes, specs, backends,
+                                  methods, strategies, directions, bounds)
+        for (model, size, spec_text, backend, method, strategy,
+             direction, bound) in cells:
+            if spec_text is None:
+                # a plain image benchmark is a single step — a fixpoint
+                # bound cannot affect it, so crossing the bounds axis
+                # in would only duplicate the measurement (the run_id
+                # dedup below then collapses the copies)
+                bound = 0
+            if backend == "dense":
+                config = CheckerConfig(backend="dense",
+                                       direction=direction, bound=bound)
+            else:
+                sliced = strategy == "sliced"
+                config = CheckerConfig(
+                    method=method, strategy=strategy,
+                    jobs=(jobs_per_run if sliced and jobs_per_run > 1
+                          else None),
+                    slice_depth=(slice_depth if sliced
+                                 else DEFAULT_SLICE_DEPTH),
+                    method_params=dict(method_params.get(method, {})),
+                    direction=direction, bound=bound)
+            run = RunSpec(model=model, size=size, config=config,
+                          spec=spec_text,
+                          model_params=dict(model_params or {}))
+            if run.run_id in seen:
+                continue
+            seen.add(run.run_id)
+            runs.append(run)
         return cls(name=name, runs=runs)
 
     @classmethod
@@ -286,6 +306,8 @@ class SweepSpec:
             backends=data.get("backends", ("tdd",)),
             strategies=data.get("strategies", ("monolithic",)),
             specs=data.get("specs", (None,)),
+            directions=data.get("directions", ("forward",)),
+            bounds=data.get("bounds", (0,)),
             jobs_per_run=data.get("jobs_per_run", 1),
             slice_depth=data.get("slice_depth", DEFAULT_SLICE_DEPTH),
             method_params=data.get("method_params"),
@@ -317,6 +339,7 @@ def execute_run(spec: RunSpec) -> dict:
               "method": spec.method, "backend": spec.backend,
               "strategy": spec.strategy, "jobs": spec.jobs,
               "slice_depth": spec.slice_depth, "label": spec.label,
+              "direction": spec.direction, "bound": spec.bound,
               "spec": spec.spec or "", "verdict": "",
               "run_id": spec.run_id, "failed": False, "error": ""}
     try:
@@ -326,6 +349,10 @@ def execute_run(spec: RunSpec) -> dict:
             result = checker.check(spec.spec)
             record["verdict"] = result.verdict
             record["witness_dimension"] = result.witness_dimension
+            record["trace_length"] = result.trace_length
+            record["trace_valid"] = (result.witness_trace.valid
+                                     if result.witness_trace is not None
+                                     else False)
             record["iterations"] = result.iterations
             record["converged"] = result.converged
             record["dimension"] = result.reachable_dimension
@@ -520,6 +547,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="property spec to check on every "
                              "model/size cell (repeatable), e.g. "
                              "--check \"AG init\"")
+    parser.add_argument("--directions", type=_csv_names,
+                        default=["forward"],
+                        help="comma-separated analysis directions "
+                             "(forward,backward)")
+    parser.add_argument("--bounds", type=_csv_ints, default=[0],
+                        help="comma-separated fixpoint depth bounds "
+                             "(0 = saturation)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="concurrent configurations (process pool)")
     parser.add_argument("--out", default=None,
@@ -536,6 +570,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.name, args.models, args.sizes, methods=args.methods,
             backends=args.backends, strategies=args.strategies,
             specs=(args.checks or [None]),
+            directions=args.directions, bounds=args.bounds,
             method_params={"contraction": {"k1": 4, "k2": 4},
                            "addition": {"k": 1},
                            "hybrid": {"k": 1, "k1": 4, "k2": 4}})

@@ -23,10 +23,19 @@ Mismatched combinations (tdd-only knobs with ``--backend dense``,
 error instead of being silently dropped.
 
 Specs (``check``/``crosscheck --spec``) use the text language of
-``repro.mc.specs``: ``AG``/``EF`` over atoms the model registers
-(``init`` always works; e.g. grover registers ``inv``, ``marked``,
-``plus``, ``ancilla_plus``) combined with ``&``, ``|``, ``~`` and
-parentheses.
+``repro.mc.specs``: ``AG``/``EF`` — optionally bounded, ``AG[<=k]`` /
+``EF[<=k]`` — over atoms the model registers (``init`` always works;
+e.g. grover registers ``inv``, ``marked``, ``plus``, ``ancilla_plus``)
+combined with ``&``, ``|``, ``~`` and parentheses.
+
+``image``/``reach``/``check`` accept ``--direction
+{forward,backward}`` (backward = preimage analysis against the adjoint
+Kraus family: ``reach`` computes the states that can *reach* the
+initial set, ``check`` decides the spec from the event set backwards)
+and ``--bound K`` (depth-limit the fixpoint to K image steps).  A
+failed ``AG`` / satisfied ``EF`` check also prints the counterexample
+witness trace — the operation path whose forward replay reproduces the
+event.
 
 Examples::
 
@@ -35,6 +44,9 @@ Examples::
     python -m repro reach qrw --size 4 --frontier
     python -m repro check grover --size 4 --spec "AG inv"
     python -m repro check grover --size 3 --spec "EF marked" --backend dense
+    python -m repro check grover --size 3 --spec "AG plus" --direction backward
+    python -m repro check qrw --size 4 --spec "EF[<=2] start"
+    python -m repro check bitflip --spec "AG errors" --bound 3
     python -m repro image ghz --size 3 --backend dense
     python -m repro crosscheck grover --size 4
     python -m repro crosscheck grover --size 3 --spec "AG inv"
@@ -51,6 +63,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.image.engine import DIRECTIONS
 from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
 from repro.mc.backends import cross_validate, make_backend
 from repro.mc.checker import ModelChecker
@@ -106,6 +119,16 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="tdd", choices=list(BACKENDS),
                         help="computation engine (dense = exponential "
                              "statevector reference, small sizes only)")
+
+
+def _add_direction_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--direction", default="forward",
+                        choices=list(DIRECTIONS),
+                        help="analysis orientation (backward = preimage "
+                             "fixpoint against the adjoint Kraus family)")
+    parser.add_argument("--bound", type=int, default=0,
+                        help="depth-limit the fixpoint to K image steps "
+                             "(0 = run to saturation)")
 
 
 def _add_strategy_arguments(parser: argparse.ArgumentParser) -> None:
@@ -168,9 +191,11 @@ def _engine_label(config: CheckerConfig, frontier: bool = False) -> str:
 
 def _cmd_image(args) -> int:
     config = _config(args)
-    result = make_backend(config).compute_image(_build(args))
+    result = make_backend(config).compute_image(
+        _build(args), direction=config.direction)
     print(f"model={args.model}{args.size} {_engine_label(config)}")
-    print(f"dim(T(S0)) = {result.dimension}")
+    label = "T(S0)" if config.direction == "forward" else "T~(S0)"
+    print(f"dim({label}) = {result.dimension}")
     print(f"time       = {result.stats.seconds:.3f} s")
     print(f"max #node  = {result.stats.max_nodes}")
     _print_kernel_stats(result.stats)
@@ -180,7 +205,9 @@ def _cmd_image(args) -> int:
 def _cmd_reach(args) -> int:
     config = _config(args)
     trace = make_backend(config).reachable(_build(args),
-                                           frontier=args.frontier)
+                                           frontier=args.frontier,
+                                           direction=config.direction,
+                                           bound=config.bound)
     print(f"model={args.model}{args.size} "
           f"{_engine_label(config, frontier=args.frontier)}")
     print(f"dimensions = {trace.dimensions}")
@@ -206,7 +233,16 @@ def _cmd_check(args) -> int:
     if result.witness is not None:
         role = ("overlap witness" if result.kind == "EF"
                 else "violating directions")
+        if result.direction == "backward":
+            role = "initial directions reaching the event"
         print(f"witness    = dim {result.witness_dimension} ({role})")
+    if result.witness_trace is not None:
+        trace = result.witness_trace
+        path = " -> ".join(trace.symbols) if trace.symbols else "<initial>"
+        replay = "replay ok" if trace.valid else "REPLAY FAILED"
+        dims = [s.dimension for s in trace.subspaces]
+        print(f"trace      = {path} ({trace.length} steps, {replay}, "
+              f"dims {dims})")
     print(f"time       = {result.stats.seconds:.3f} s")
     _print_kernel_stats(result.stats)
     return 0 if result.holds else 1
@@ -257,24 +293,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_model_arguments(image)
     _add_backend_argument(image)
     _add_strategy_arguments(image)
+    _add_direction_arguments(image)
     image.set_defaults(func=_cmd_image)
 
     reach = sub.add_parser("reach", help="reachability fixpoint")
     _add_model_arguments(reach)
     _add_backend_argument(reach)
     _add_strategy_arguments(reach)
+    _add_direction_arguments(reach)
     reach.add_argument("--frontier", action="store_true")
     reach.set_defaults(func=_cmd_reach)
 
     check = sub.add_parser(
         "check", help="check a temporal specification (AG/EF over "
-                      "registered subspace atoms)")
+                      "registered subspace atoms, bounded AG[<=k]/"
+                      "EF[<=k], forward or backward)")
     _add_model_arguments(check)
     _add_backend_argument(check)
     _add_strategy_arguments(check)
+    _add_direction_arguments(check)
     check.add_argument("--spec", required=True,
                        help="specification text, e.g. \"AG inv\", "
-                            "\"EF marked\", \"AG (inv & ~bad)\"")
+                            "\"EF marked\", \"AG (inv & ~bad)\", "
+                            "\"EF[<=3] marked\"")
     check.add_argument("--max-iterations", type=int, default=0,
                        dest="max_iterations",
                        help="bound the reachability fixpoint "

@@ -35,6 +35,10 @@ from repro.utils.timing import Stopwatch
 
 METHODS = ("basic", "addition", "contraction", "hybrid")
 
+#: image orientations: forward computes ``T(S)``, backward the
+#: preimage ``T^dagger(S)`` (images of the adjoint system)
+DIRECTIONS = ("forward", "backward")
+
 
 def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
                   **params) -> ImageComputerBase:
@@ -68,6 +72,13 @@ class ImageEngine:
     deterministically.  Reusing one engine across calls reuses the
     computer's cached operator diagrams *and* the executor's cofactor
     slices — the intended shape for reachability fixpoints and sweeps.
+
+    ``direction="backward"`` switches the engine to *preimage* mode:
+    the computer is built against the adjoint system
+    (:meth:`~repro.systems.qts.QuantumTransitionSystem.adjoint`), so
+    every method partitions — and every strategy executes — the
+    Kraus-dagger transition relation, with the adjoint operator TDDs
+    cached across calls exactly like the forward ones.
     """
 
     def __init__(self, qts: QuantumTransitionSystem,
@@ -75,13 +86,15 @@ class ImageEngine:
                  strategy: str = "monolithic",
                  jobs: Optional[int] = None,
                  slice_depth: int = DEFAULT_SLICE_DEPTH,
+                 direction: str = "forward",
                  config=None,
                  **params) -> None:
         if config is not None:
             # a repro.mc.config.CheckerConfig: the validated single
             # source of truth — it overrides the loose kwargs entirely
             if params or method != "basic" or strategy != "monolithic" \
-                    or jobs is not None or slice_depth != DEFAULT_SLICE_DEPTH:
+                    or jobs is not None or slice_depth != DEFAULT_SLICE_DEPTH \
+                    or direction != "forward":
                 raise ReproError("pass either config= or the individual "
                                  "method/strategy keyword arguments, "
                                  "not both")
@@ -93,16 +106,24 @@ class ImageEngine:
             strategy = config.strategy
             jobs = config.jobs
             slice_depth = config.slice_depth
+            direction = config.direction
             params = dict(config.method_params)
         if strategy not in STRATEGIES:
             raise ReproError(f"unknown strategy {strategy!r}; "
                              f"choose from {STRATEGIES}")
+        if direction not in DIRECTIONS:
+            raise ReproError(f"unknown direction {direction!r}; "
+                             f"choose from {DIRECTIONS}")
         self.qts = qts
         self.method = method
         self.strategy = strategy
         self.jobs = jobs
         self.slice_depth = slice_depth
-        self.computer = make_computer(qts, method, **params)
+        self.direction = direction
+        #: the system whose transition relation is contracted — the
+        #: adjoint one in preimage mode (same manager, same space)
+        self.system = qts if direction == "forward" else qts.adjoint()
+        self.computer = make_computer(self.system, method, **params)
         self.computer.executor = make_executor(
             strategy, qts.manager, jobs=jobs, slice_depth=slice_depth)
 
@@ -140,7 +161,8 @@ class ImageEngine:
 
     def __repr__(self) -> str:
         return (f"ImageEngine(method={self.method!r}, "
-                f"strategy={self.strategy!r}, jobs={self.jobs})")
+                f"strategy={self.strategy!r}, jobs={self.jobs}, "
+                f"direction={self.direction!r})")
 
 
 def compute_image(qts: QuantumTransitionSystem,
@@ -149,13 +171,16 @@ def compute_image(qts: QuantumTransitionSystem,
                   strategy: str = "monolithic",
                   jobs: Optional[int] = None,
                   slice_depth: int = DEFAULT_SLICE_DEPTH,
+                  direction: str = "forward",
                   config=None,
                   **params) -> ImageResult:
-    """One-shot ``T(S)`` with run statistics.
+    """One-shot ``T(S)`` — or preimage ``T^dagger(S)`` — with run stats.
 
     Engine configuration comes either from a validated
     :class:`repro.mc.config.CheckerConfig` (``config=...``, the
-    preferred spelling) or from the individual keyword arguments.
+    preferred spelling) or from the individual keyword arguments;
+    ``direction="backward"`` computes the preimage (the image under
+    the adjoint Kraus family).
 
     The returned :class:`ImageResult` stats carry wall time, peak TDD
     node count, operation-cache hit/miss counts for this run, sliced
@@ -164,6 +189,6 @@ def compute_image(qts: QuantumTransitionSystem,
     the peak and surviving live-node populations of the manager.
     """
     with ImageEngine(qts, method, strategy=strategy, jobs=jobs,
-                     slice_depth=slice_depth, config=config,
-                     **params) as engine:
+                     slice_depth=slice_depth, direction=direction,
+                     config=config, **params) as engine:
         return engine.compute_image(subspace, gc=gc)

@@ -169,8 +169,12 @@ class SlicedExecutor:
         self.pool_min_nodes = pool_min_nodes
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
-        #: index-order length at pool creation (growth => re-ship order)
+        #: index-order length the workers are known to have (set at pool
+        #: creation, advanced after every successful re-ship; growth
+        #: beyond it => re-ship the order)
         self._pool_order_len = 0
+        #: how many times the index order was re-shipped after pool start
+        self._order_ships = 0
         #: operand -> {slice level tuple: [per-assignment slice TDD]};
         #: weak keys let dead states evaporate while the long-lived
         #: operator TDDs keep their slices (and payloads) cached across
@@ -244,11 +248,14 @@ class SlicedExecutor:
                        stats: Optional[StatsRecorder]) -> List[TDD]:
         pool = self._ensure_pool()
         if pool is None:  # pool unavailable (e.g. nested workers)
+            if stats is not None:
+                stats.pool_fallbacks += 1
             return [a_s.contract(b_s, remaining) for a_s, b_s in pairs]
         # workers got the order at pool start; re-ship it only if the
         # parent registered indices since (idempotent on arrival)
+        order_len = len(self.manager.order)
         order = (order_payload(self.manager.order)
-                 if len(self.manager.order) > self._pool_order_len
+                 if order_len > self._pool_order_len
                  else None)
         sum_names = [i.name for i in remaining]
         try:
@@ -266,7 +273,17 @@ class SlicedExecutor:
             # constructor: retire the pool and degrade to inline
             self._pool_broken = True
             self.close()
+            if stats is not None:
+                stats.pool_fallbacks += 1
             return [a_s.contract(b_s, remaining) for a_s, b_s in pairs]
+        if order is not None:
+            # the batch completed: its workers registered the shipped
+            # order (idempotently), and stragglers self-heal because
+            # from_dict registers a payload's own indices in level
+            # order — advance the watermark so later batches stop
+            # re-serialising the full order payload
+            self._pool_order_len = order_len
+            self._order_ships += 1
         if stats is not None:
             stats.parallel_tasks += len(futures)
         return results

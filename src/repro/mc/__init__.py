@@ -23,6 +23,7 @@ from repro.mc.logic import (Always, Atomic, Eventually, Join, Meet, Name,
                             check_always, check_eventually_overlaps,
                             satisfies)
 from repro.mc.specs import parse_spec, resolve, to_text
+from repro.mc.witness import WitnessTrace, extract_witness_trace
 
 __all__ = [
     "reachable_space", "ReachabilityTrace",
@@ -35,4 +36,5 @@ __all__ = [
     "Proposition", "TemporalSpec",
     "check_always", "check_eventually_overlaps", "satisfies",
     "parse_spec", "resolve", "to_text",
+    "WitnessTrace", "extract_witness_trace",
 ]

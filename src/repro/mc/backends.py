@@ -40,19 +40,28 @@ DENSE_MAX_QUBITS = 14
 
 
 class Backend(Protocol):
-    """One engine that can compute images and reachable spaces."""
+    """One engine that can compute images and reachable spaces.
+
+    ``direction``/``bound`` select forward or backward (preimage)
+    analysis and depth-limited fixpoints; ``None`` means "use the
+    engine's configured default" (forward / unbounded for engines
+    without a config).
+    """
 
     name: str
 
     def compute_image(self, qts: QuantumTransitionSystem,
-                      subspace: Optional[Subspace] = None) -> ImageResult:
-        """``T(S)`` with run statistics."""
+                      subspace: Optional[Subspace] = None,
+                      direction: Optional[str] = None) -> ImageResult:
+        """``T(S)`` — or the preimage ``T^dagger(S)`` — with run stats."""
         ...
 
     def reachable(self, qts: QuantumTransitionSystem,
                   initial: Optional[Subspace] = None,
                   max_iterations: int = 0,
-                  frontier: bool = False) -> ReachabilityTrace:
+                  frontier: bool = False,
+                  direction: Optional[str] = None,
+                  bound: Optional[int] = None) -> ReachabilityTrace:
         """The reachability fixpoint from ``initial`` (default ``S0``)."""
         ...
 
@@ -112,19 +121,28 @@ class TDDBackend:
 
     # ------------------------------------------------------------------
     def compute_image(self, qts: QuantumTransitionSystem,
-                      subspace: Optional[Subspace] = None) -> ImageResult:
-        return compute_image(qts, subspace, config=self.config)
+                      subspace: Optional[Subspace] = None,
+                      direction: Optional[str] = None) -> ImageResult:
+        cfg = self.config
+        if direction is not None and direction != cfg.direction:
+            cfg = cfg.replace(direction=direction)
+        return compute_image(qts, subspace, config=cfg)
 
     def reachable(self, qts: QuantumTransitionSystem,
                   initial: Optional[Subspace] = None,
                   max_iterations: int = 0,
-                  frontier: bool = False) -> ReachabilityTrace:
+                  frontier: bool = False,
+                  direction: Optional[str] = None,
+                  bound: Optional[int] = None) -> ReachabilityTrace:
         cfg = self.config
-        return reachable_space(qts, cfg.method, initial=initial,
-                               max_iterations=max_iterations,
-                               frontier=frontier, strategy=cfg.strategy,
-                               jobs=cfg.jobs, slice_depth=cfg.slice_depth,
-                               **cfg.method_params)
+        return reachable_space(
+            qts, cfg.method, initial=initial,
+            max_iterations=max_iterations,
+            frontier=frontier, strategy=cfg.strategy,
+            jobs=cfg.jobs, slice_depth=cfg.slice_depth,
+            direction=cfg.direction if direction is None else direction,
+            bound=cfg.bound if bound is None else bound,
+            **cfg.method_params)
 
     def __repr__(self) -> str:
         return (f"TDDBackend(method={self.method!r}, "
@@ -173,14 +191,18 @@ class DenseStatevectorBackend:
 
     # ------------------------------------------------------------------
     def compute_image(self, qts: QuantumTransitionSystem,
-                      subspace: Optional[Subspace] = None) -> ImageResult:
+                      subspace: Optional[Subspace] = None,
+                      direction: Optional[str] = None) -> ImageResult:
         self._check_size(qts)
         if subspace is None:
             subspace = qts.initial
+        backward = direction == "backward"
         stats = StatsRecorder()
         stats.extra["backend"] = self.name
         watch = Stopwatch().start()
-        dense = self._to_dense(subspace).image(self._kraus_matrices(qts))
+        kraus = self._kraus_matrices(qts)
+        source = self._to_dense(subspace)
+        dense = source.preimage(kraus) if backward else source.image(kraus)
         result = self._to_subspace(qts, dense)
         stats.seconds = watch.stop()
         stats.observe_nodes(result.projector.size())
@@ -189,11 +211,15 @@ class DenseStatevectorBackend:
     def reachable(self, qts: QuantumTransitionSystem,
                   initial: Optional[Subspace] = None,
                   max_iterations: int = 0,
-                  frontier: bool = False) -> ReachabilityTrace:
+                  frontier: bool = False,
+                  direction: Optional[str] = None,
+                  bound: Optional[int] = None) -> ReachabilityTrace:
         # frontier iteration is a symbolic-cost optimisation; the dense
         # fixpoint is cheap enough to always use the full space.
         del frontier
         self._check_size(qts)
+        backward = direction == "backward"
+        bound = bound or 0
         current = initial if initial is not None else qts.initial
         if current.dimension == 0:
             raise ReproError("reachability from the zero subspace is "
@@ -201,12 +227,21 @@ class DenseStatevectorBackend:
         kraus = self._kraus_matrices(qts)
         dense = self._to_dense(current)
         trace = ReachabilityTrace(subspace=current,
-                                  dimensions=[dense.dimension])
+                                  dimensions=[dense.dimension],
+                                  direction="backward" if backward
+                                  else "forward",
+                                  bound=bound)
         trace.stats.extra["backend"] = self.name
+        if backward:
+            trace.stats.extra["direction"] = "backward"
         limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
+        if bound > 0:
+            limit = min(limit, bound)
         watch = Stopwatch().start()
         for _ in range(limit):
-            grown = dense.join(dense.image(kraus))
+            step = (dense.preimage(kraus) if backward
+                    else dense.image(kraus))
+            grown = dense.join(step)
             trace.iterations += 1
             trace.dimensions.append(grown.dimension)
             converged = grown.dimension == dense.dimension
@@ -274,6 +309,8 @@ class CrossValidation:
     spec: Optional[str] = None
     tdd_verdict: Optional[str] = None
     dense_verdict: Optional[str] = None
+    tdd_trace_length: Optional[int] = None
+    dense_trace_length: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -319,14 +356,17 @@ def cross_validate(qts: QuantumTransitionSystem,
                               "tdd engine; the dense side is implicit")
         tdd_config = config
     dense_config = CheckerConfig(backend="dense",
-                                 max_qubits=params.get("max_qubits"))
+                                 max_qubits=params.get("max_qubits"),
+                                 direction=tdd_config.direction,
+                                 bound=tdd_config.bound)
 
     if spec is not None:
         symbolic = ModelChecker(qts, tdd_config).check(spec)
         dense = ModelChecker(qts, dense_config).check(spec)
         agree = (symbolic.verdict == dense.verdict
                  and symbolic.reachable_dimension
-                 == dense.reachable_dimension)
+                 == dense.reachable_dimension
+                 and symbolic.trace_length == dense.trace_length)
         return CrossValidation(
             tdd_dimension=symbolic.reachable_dimension,
             dense_dimension=dense.reachable_dimension,
@@ -335,10 +375,14 @@ def cross_validate(qts: QuantumTransitionSystem,
             dense_seconds=dense.stats.seconds,
             spec=symbolic.spec,
             tdd_verdict=symbolic.verdict,
-            dense_verdict=dense.verdict)
+            dense_verdict=dense.verdict,
+            tdd_trace_length=symbolic.trace_length,
+            dense_trace_length=dense.trace_length)
 
-    symbolic = make_backend(tdd_config).compute_image(qts, subspace)
-    dense = make_backend(dense_config).compute_image(qts, subspace)
+    symbolic = make_backend(tdd_config).compute_image(
+        qts, subspace, direction=tdd_config.direction)
+    dense = make_backend(dense_config).compute_image(
+        qts, subspace, direction=tdd_config.direction)
     agree = (symbolic.subspace.dimension == dense.subspace.dimension
              and symbolic.subspace.equals(dense.subspace, tol))
     return CrossValidation(

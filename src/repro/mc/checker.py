@@ -42,6 +42,7 @@ from repro.mc.invariants import invariant_holds
 from repro.mc.logic import (Always, Atomic, Eventually, Proposition,
                             TemporalSpec)
 from repro.mc.reachability import ReachabilityTrace
+from repro.mc.witness import WitnessTrace, extract_witness_trace
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.utils.stats import StatsRecorder
@@ -57,9 +58,19 @@ class CheckResult:
     * ``witness`` — for a violated ``AG`` spec, the span of the
       reachable directions that escape the property; for a satisfied
       ``EF`` spec, the span of the reachable components inside the
-      target (``None`` when there is nothing to show);
+      target (``None`` when there is nothing to show); on a backward
+      check, the span of the *initial* directions that can reach the
+      event;
+    * ``witness_trace`` — the executable counterexample for a violated
+      ``AG`` / satisfied ``EF``: a path of operation symbols and
+      intermediate subspaces, validated by forward replay (see
+      :mod:`repro.mc.witness`);
     * ``dimensions`` / ``iterations`` / ``converged`` — the
-      reachability trace behind a temporal verdict;
+      reachability trace behind a temporal verdict (the backward trace
+      when ``direction="backward"``);
+    * ``direction`` / ``bound`` — the analysis orientation and the
+      effective step bound (0 = unbounded; a spec-level ``AG[<=k]``
+      bound wins over the config's);
     * ``stats`` — the kernel cost profile (wall time, peak nodes,
       cache hit/miss, GC, sliced-strategy counters);
     * ``config`` — the exact engine configuration that produced this
@@ -76,6 +87,9 @@ class CheckResult:
     iterations: int = 0
     converged: bool = True
     witness: Optional[Subspace] = None
+    witness_trace: Optional[WitnessTrace] = None
+    direction: str = "forward"
+    bound: int = 0
     stats: StatsRecorder = field(default_factory=StatsRecorder)
 
     @property
@@ -85,6 +99,11 @@ class CheckResult:
     @property
     def witness_dimension(self) -> int:
         return self.witness.dimension if self.witness is not None else 0
+
+    @property
+    def trace_length(self) -> int:
+        return (self.witness_trace.length
+                if self.witness_trace is not None else 0)
 
     @property
     def seconds(self) -> float:
@@ -99,7 +118,14 @@ class CheckResult:
                "witness_dimension": self.witness_dimension,
                "iterations": self.iterations,
                "converged": self.converged,
+               "direction": self.direction,
+               "bound": self.bound,
                "config": self.config.as_dict()}
+        if self.witness_trace is not None:
+            out.update(self.witness_trace.as_dict())
+        else:
+            out.update({"trace_length": 0, "trace_symbols": "",
+                        "trace_valid": False, "trace_dimensions": []})
         out.update(self.stats.as_dict())
         return out
 
@@ -141,16 +167,30 @@ class ModelChecker:
         return dict(self.config.method_params)
 
     # ------------------------------------------------------------------
-    def image(self, subspace: Optional[Subspace] = None) -> ImageResult:
-        """One-step image ``T(S)`` with run statistics."""
-        return self.backend.compute_image(self.qts, subspace)
+    def image(self, subspace: Optional[Subspace] = None,
+              direction: Optional[str] = None) -> ImageResult:
+        """One-step image ``T(S)`` — or preimage — with run statistics."""
+        return self.backend.compute_image(
+            self.qts, subspace,
+            direction=direction if direction is not None
+            else self.config.direction)
 
     def reachable(self, max_iterations: int = 0,
-                  frontier: bool = False) -> ReachabilityTrace:
-        """The reachable subspace from the initial space."""
-        return self.backend.reachable(self.qts,
-                                      max_iterations=max_iterations,
-                                      frontier=frontier)
+                  frontier: bool = False,
+                  direction: Optional[str] = None,
+                  bound: Optional[int] = None) -> ReachabilityTrace:
+        """The reachable subspace from the initial space.
+
+        ``direction``/``bound`` default to the checker's config:
+        ``backward`` computes the space of states that can *reach*
+        ``S0`` (the preimage fixpoint), a positive ``bound`` stops
+        after that many image steps.
+        """
+        return self.backend.reachable(
+            self.qts, max_iterations=max_iterations, frontier=frontier,
+            direction=direction if direction is not None
+            else self.config.direction,
+            bound=bound if bound is not None else self.config.bound)
 
     def cross_validate(self, subspace: Optional[Subspace] = None,
                        tol: float = 1e-7, spec=None) -> CrossValidation:
@@ -172,10 +212,13 @@ class ModelChecker:
     # ------------------------------------------------------------------
     def check(self, spec, initial: Optional[Subspace] = None,
               max_iterations: int = 0, frontier: bool = False,
-              tol: float = CHECK_EPS) -> CheckResult:
+              tol: float = CHECK_EPS,
+              direction: Optional[str] = None,
+              bound: Optional[int] = None,
+              witness_trace: bool = True) -> CheckResult:
         """Check a temporal specification; one verb, one result shape.
 
-        ``spec`` is a spec string (``"AG inv"``, ``"EF target"``,
+        ``spec`` is a spec string (``"AG inv"``, ``"EF[<=3] target"``,
         ``"AG (inv & ~bad)"`` — parsed by
         :func:`repro.mc.specs.parse_spec`) or an AST from
         :mod:`repro.mc.logic`.  Named atoms resolve against the
@@ -183,16 +226,31 @@ class ModelChecker:
 
         * ``AG φ`` — the reachable space from ``initial`` (default
           ``S0``) is contained in ``[[φ]]``; on violation the result
-          carries the escaping directions as ``witness``;
+          carries the escaping directions as ``witness`` and an
+          executable counterexample as ``witness_trace``;
         * ``EF φ`` — some reachable direction has a component in
           ``[[φ]]`` (above ``tol``); when it holds the overlap
-          components are the ``witness``;
+          components are the ``witness`` and the path reaching them
+          the ``witness_trace``;
         * a bare proposition — ``initial`` (default ``S0``) is
           contained in ``[[φ]]`` *now*, no reachability involved.
 
+        ``direction``/``bound`` default to the checker's config.  With
+        ``direction="backward"`` the temporal checks run as *backward*
+        reachability: the fixpoint starts from the event set
+        (``[[φ]]^perp`` for ``AG``, ``[[φ]]`` for ``EF``) under the
+        adjoint transition relation, and the verdict is decided by
+        whether that backward-reachable space meets the initial one —
+        equivalent to the forward verdict, and often cheaper when the
+        event set is small.  A positive ``bound`` (or a spec-level
+        ``AG[<=k]``/``EF[<=k]`` bound, which wins) limits the fixpoint
+        to ``k`` image steps in either direction.
+
         Runs on whichever backend this checker is configured for; the
-        verdicts are backend-independent by construction (both engines
-        return the same TDD-backed subspaces).
+        verdicts — and the witness traces, which are built on the
+        shared subspace machinery — are backend-independent by
+        construction.  ``witness_trace=False`` skips counterexample
+        extraction.
         """
         from repro.mc.specs import parse_spec, resolve, to_text
         if isinstance(spec, str):
@@ -203,33 +261,56 @@ class ModelChecker:
         spec = resolve(spec, self.qts)
         text = to_text(spec)
         space = self.qts.space
+        direction = (direction if direction is not None
+                     else self.config.direction)
 
         if isinstance(spec, TemporalSpec):
-            target = spec.inner.denote(space)
-            trace = self.backend.reachable(self.qts, initial=initial,
-                                           max_iterations=max_iterations,
-                                           frontier=frontier)
-            reached = trace.subspace
-            if isinstance(spec, Always):
-                holds = target.contains(reached, tol)
-                witness = None if holds else _escaping_directions(
-                    reached, target, tol)
-                kind = Always.keyword
+            if spec.bound is not None:
+                effective_bound = spec.bound
+            elif bound is not None:
+                effective_bound = bound
             else:
-                # verdict and witness from the same criterion: some
-                # reachable basis vector has a component in the target
-                # above tol
-                witness = _overlap_witness(reached, target, tol)
-                holds = witness is not None
-                kind = Eventually.keyword
+                effective_bound = self.config.bound
+            target = spec.inner.denote(space)
+            kind = spec.keyword
+            start = initial if initial is not None else self.qts.initial
+            if direction == "backward":
+                trace, holds, witness = self._check_backward(
+                    spec, target, start, max_iterations, frontier,
+                    effective_bound, tol)
+            else:
+                trace = self.backend.reachable(
+                    self.qts, initial=initial,
+                    max_iterations=max_iterations,
+                    frontier=frontier, direction="forward",
+                    bound=effective_bound)
+                reached = trace.subspace
+                if isinstance(spec, Always):
+                    holds = target.contains(reached, tol)
+                    witness = None if holds else _escaping_directions(
+                        reached, target, tol)
+                else:
+                    # verdict and witness from the same criterion: some
+                    # reachable basis vector has a component in the
+                    # target above tol
+                    witness = _overlap_witness(reached, target, tol)
+                    holds = witness is not None
+            trace_obj = None
+            needs_trace = (kind == Always.keyword) != holds
+            if witness_trace and needs_trace:
+                trace_obj = extract_witness_trace(
+                    self.qts, kind, target, initial=start, tol=tol,
+                    bound=effective_bound)
             return CheckResult(
                 spec=text, kind=kind, holds=holds,
                 model=self.qts.name, config=self.config,
-                reachable_dimension=reached.dimension,
+                reachable_dimension=trace.subspace.dimension,
                 dimensions=list(trace.dimensions),
                 iterations=trace.iterations,
                 converged=trace.converged,
-                witness=witness, stats=trace.stats)
+                witness=witness, witness_trace=trace_obj,
+                direction=direction, bound=effective_bound,
+                stats=trace.stats)
 
         # a bare proposition: satisfaction of the initial space, now
         target = spec.denote(space)
@@ -241,7 +322,37 @@ class ModelChecker:
             model=self.qts.name, config=self.config,
             reachable_dimension=start.dimension,
             dimensions=[start.dimension],
-            witness=witness)
+            witness=witness, direction=direction)
+
+    def _check_backward(self, spec: TemporalSpec, target: Subspace,
+                        start: Subspace, max_iterations: int,
+                        frontier: bool, bound: int, tol: float):
+        """Temporal verdict by backward (preimage) reachability.
+
+        The event set is ``[[φ]]^perp`` for ``AG`` (a state escapes φ
+        iff it has a component in the orthocomplement) and ``[[φ]]``
+        for ``EF``; the verdict is decided by whether the backward-
+        reachable space from the event set — under the adjoint Kraus
+        family — meets the initial space (``<v|E u> = <E^dagger v|u>``
+        makes the two formulations equivalent).  The witness is the
+        span of the initial directions that can reach the event.
+        """
+        event = (target.complement() if isinstance(spec, Always)
+                 else target)
+        if event.dimension == 0:
+            # AG of the full space holds, EF of the zero space fails —
+            # with nothing to walk back from
+            trace = ReachabilityTrace(subspace=event, dimensions=[0],
+                                      direction="backward", bound=bound)
+            trace.stats.extra["direction"] = "backward"
+            return trace, isinstance(spec, Always), None
+        trace = self.backend.reachable(
+            self.qts, initial=event, max_iterations=max_iterations,
+            frontier=frontier, direction="backward", bound=bound)
+        witness = _overlap_witness(trace.subspace, start, tol)
+        overlaps = witness is not None
+        holds = not overlaps if isinstance(spec, Always) else overlaps
+        return trace, holds, witness
 
     # ------------------------------------------------------------------
     # subspace-level checks, reimplemented on top of check()
@@ -260,14 +371,19 @@ class ModelChecker:
         if subspace is None:
             subspace = self.qts.initial
         if strict:
-            image = self.backend.compute_image(self.qts, subspace).subspace
+            # invariance is a forward-image notion by definition, so a
+            # backward-configured checker must not substitute the
+            # preimage here
+            image = self.backend.compute_image(
+                self.qts, subspace, direction="forward").subspace
             return invariant_holds(image, subspace, strict)
         return self.check(Always(Atomic(subspace, "S")), initial=subspace,
-                          max_iterations=1).holds
+                          max_iterations=1, direction="forward").holds
 
     def check_image_equals(self, expected: Subspace,
                            subspace: Optional[Subspace] = None) -> bool:
-        image = self.backend.compute_image(self.qts, subspace).subspace
+        image = self.backend.compute_image(
+            self.qts, subspace, direction="forward").subspace
         return image.equals(expected)
 
     def check_safety(self, bound: Subspace,

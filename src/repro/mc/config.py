@@ -36,7 +36,7 @@ from dataclasses import MISSING, dataclass, field, fields, replace
 from typing import Mapping, Optional
 
 from repro.errors import ConfigError
-from repro.image.engine import METHODS
+from repro.image.engine import DIRECTIONS, METHODS
 from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
 
 #: the available computation engines (the dense statevector reference
@@ -79,7 +79,11 @@ class CheckerConfig:
     addition, ``k1``/``k2``/``order_policy`` for contraction, all of
     them for hybrid); ``jobs``/``slice_depth`` configure the sliced
     execution strategy; ``max_qubits`` raises the dense backend's size
-    guard.  Every mismatch is rejected at construction time.
+    guard.  ``direction`` selects forward (image) or backward
+    (preimage, against the adjoint Kraus family) analysis and ``bound``
+    depth-limits reachability fixpoints (0 = run to saturation) — both
+    are honoured by *both* backends.  Every mismatch is rejected at
+    construction time.
     """
 
     backend: str = "tdd"
@@ -89,6 +93,8 @@ class CheckerConfig:
     slice_depth: int = DEFAULT_SLICE_DEPTH
     method_params: Mapping[str, object] = field(default_factory=dict)
     max_qubits: Optional[int] = None
+    direction: str = "forward"
+    bound: int = 0
 
     def __post_init__(self) -> None:
         # freeze a private copy so a caller-held dict cannot mutate us
@@ -109,6 +115,12 @@ class CheckerConfig:
         if self.strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {self.strategy!r}; "
                               f"choose from {STRATEGIES}")
+        if self.direction not in DIRECTIONS:
+            raise ConfigError(f"unknown direction {self.direction!r}; "
+                              f"choose from {DIRECTIONS}")
+        if not isinstance(self.bound, int) or self.bound < 0:
+            raise ConfigError(f"bound must be a non-negative integer "
+                              f"(0 = unbounded), got {self.bound!r}")
         allowed = METHOD_PARAMS[self.method]
         unknown = set(self.method_params) - allowed
         if unknown:
@@ -166,6 +178,8 @@ class CheckerConfig:
                     slice_depth: int = DEFAULT_SLICE_DEPTH,
                     max_qubits: Optional[int] = None,
                     method_params: Optional[Mapping] = None,
+                    direction: str = "forward",
+                    bound: int = 0,
                     **params) -> "CheckerConfig":
         """The legacy keyword spelling, with the legacy tolerance.
 
@@ -181,10 +195,11 @@ class CheckerConfig:
             jobs = None
             slice_depth = DEFAULT_SLICE_DEPTH
         if backend == "dense":
-            return cls(backend="dense", max_qubits=max_qubits)
+            return cls(backend="dense", max_qubits=max_qubits,
+                       direction=direction, bound=bound)
         return cls(backend=backend, method=method, strategy=strategy,
                    jobs=jobs, slice_depth=slice_depth,
-                   method_params=merged)
+                   method_params=merged, direction=direction, bound=bound)
 
     @classmethod
     def from_cli_args(cls, args) -> "CheckerConfig":
@@ -200,6 +215,8 @@ class CheckerConfig:
         strategy = getattr(args, "strategy", "monolithic")
         jobs = getattr(args, "jobs", None)
         slice_depth = getattr(args, "slice_depth", DEFAULT_SLICE_DEPTH)
+        direction = getattr(args, "direction", "forward")
+        bound = getattr(args, "bound", 0)
         method_params = {}
         for name in sorted(METHOD_PARAMS[method]):
             if hasattr(args, name):
@@ -214,10 +231,12 @@ class CheckerConfig:
             return cls(backend="dense", method=method,
                        strategy=strategy, jobs=jobs,
                        slice_depth=slice_depth,
-                       method_params=method_params)
+                       method_params=method_params,
+                       direction=direction, bound=bound)
         return cls(backend=backend, method=method, strategy=strategy,
                    jobs=jobs, slice_depth=slice_depth,
-                   method_params=method_params)
+                   method_params=method_params,
+                   direction=direction, bound=bound)
 
     def replace(self, **changes) -> "CheckerConfig":
         """A copy with the given fields replaced (re-validated)."""
@@ -232,7 +251,8 @@ class CheckerConfig:
                 "strategy": self.strategy, "jobs": self.jobs,
                 "slice_depth": self.slice_depth,
                 "method_params": dict(self.method_params),
-                "max_qubits": self.max_qubits}
+                "max_qubits": self.max_qubits,
+                "direction": self.direction, "bound": self.bound}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CheckerConfig":
@@ -258,6 +278,10 @@ class CheckerConfig:
     def describe(self) -> str:
         """A one-line human-readable echo (CLI output, CheckResult)."""
         parts = [f"backend={self.backend}"]
+        if self.direction != "forward":
+            parts.append(f"direction={self.direction}")
+        if self.bound:
+            parts.append(f"bound={self.bound}")
         if self.backend == "tdd":
             parts.append(f"method={self.method}")
             if self.strategy != "monolithic":

@@ -169,29 +169,50 @@ class Not(Proposition):
 # temporal operators
 # ----------------------------------------------------------------------
 class TemporalSpec:
-    """A top-level temporal formula over one state formula."""
+    """A top-level temporal formula over one state formula.
+
+    ``bound`` is the optional step bound of the *bounded* operators
+    ``AG[<=k]`` / ``EF[<=k]``: the property is evaluated over the
+    space reachable within at most ``k`` transitions instead of the
+    full fixpoint.  ``None`` (the default) is the unbounded operator.
+    """
 
     #: the text-syntax keyword ("AG" / "EF")
     keyword: str = "?"
 
-    def __init__(self, inner: Proposition) -> None:
+    def __init__(self, inner: Proposition,
+                 bound: "int | None" = None) -> None:
         if isinstance(inner, TemporalSpec):
             raise SpecError(f"temporal operators do not nest; "
                             f"{self.keyword} must be outermost")
+        if bound is not None and (not isinstance(bound, int) or bound < 1):
+            raise SpecError(f"temporal bound must be a positive integer, "
+                            f"got {bound!r}")
         self.inner = inner
+        self.bound = bound
+
+    def _prefix(self) -> str:
+        if self.bound is None:
+            return self.keyword
+        return f"{self.keyword}[<={self.bound}]"
 
     def __repr__(self) -> str:
-        return f"{self.keyword} {self.inner!r}"
+        return f"{self._prefix()} {self.inner!r}"
 
     def __eq__(self, other) -> bool:
-        return type(other) is type(self) and other.inner == self.inner
+        return (type(other) is type(self) and other.inner == self.inner
+                and other.bound == self.bound)
 
     def __hash__(self) -> int:
-        return hash((type(self), self.inner))
+        return hash((type(self), self.inner, self.bound))
 
 
 class Always(TemporalSpec):
-    """``AG φ``: every reachable state satisfies φ."""
+    """``AG φ``: every reachable state satisfies φ.
+
+    The bounded form ``AG[<=k] φ`` (``Always(phi, bound=k)``) asserts
+    it only for states reachable within ``k`` transitions.
+    """
 
     keyword = "AG"
 
@@ -201,7 +222,9 @@ class Eventually(TemporalSpec):
 
     True iff the reachable space is not orthogonal to the denoted
     subspace (a necessary condition for EF φ; exact for 1-dimensional
-    reachable spaces).
+    reachable spaces).  The bounded form ``EF[<=k] φ``
+    (``Eventually(phi, bound=k)``) asks for an overlap within ``k``
+    transitions.
     """
 
     keyword = "EF"

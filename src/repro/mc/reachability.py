@@ -31,6 +31,8 @@ class ReachabilityTrace:
     iterations: int = 0
     stats: StatsRecorder = field(default_factory=StatsRecorder)
     converged: bool = True
+    direction: str = "forward"
+    bound: int = 0
 
     @property
     def dimension(self) -> int:
@@ -46,6 +48,8 @@ def reachable_space(qts: QuantumTransitionSystem,
                     strategy: str = "monolithic",
                     jobs: Optional[int] = None,
                     slice_depth: int = DEFAULT_SLICE_DEPTH,
+                    direction: str = "forward",
+                    bound: int = 0,
                     **params) -> ReachabilityTrace:
     """Compute the reachable subspace of ``qts``.
 
@@ -56,6 +60,19 @@ def reachable_space(qts: QuantumTransitionSystem,
     pool and cofactor-slice cache when ``strategy="sliced"`` (see
     :mod:`repro.image.sliced`; ``jobs`` sets the pool width,
     ``slice_depth`` the number of top summed levels to fix).
+
+    ``direction="backward"`` runs the same fixpoint against the
+    *adjoint* transition relation (cached Kraus-dagger operator TDDs,
+    see :meth:`~repro.systems.qts.QuantumTransitionSystem.adjoint`):
+    the result is the space of states that can *reach* ``initial``,
+    the standard symbolic-model-checking complement of forward
+    reachability.  All four methods and both execution strategies
+    apply unchanged.
+
+    ``bound`` is the depth limit of bounded analysis: a positive value
+    stops after at most ``bound`` image steps (so the result is the
+    space reachable within ``bound`` transitions) and takes precedence
+    over ``max_iterations``.
 
     ``frontier=True`` switches to frontier-set iteration, the classic
     symbolic-model-checking refinement: each round only computes the
@@ -73,17 +90,24 @@ def reachable_space(qts: QuantumTransitionSystem,
     and GC activity of the whole run.
     """
     engine = ImageEngine(qts, method, strategy=strategy, jobs=jobs,
-                         slice_depth=slice_depth, **params)
+                         slice_depth=slice_depth, direction=direction,
+                         **params)
     computer = engine.computer
     current = initial if initial is not None else qts.initial
     if current.dimension == 0:
         engine.close()
         raise ReproError("reachability from the zero subspace is trivial; "
                          "set an initial space first")
-    trace = ReachabilityTrace(subspace=current, dimensions=[current.dimension])
+    trace = ReachabilityTrace(subspace=current,
+                              dimensions=[current.dimension],
+                              direction=direction, bound=bound)
     if strategy != "monolithic":
         trace.stats.extra["strategy"] = strategy
+    if direction != "forward":
+        trace.stats.extra["direction"] = direction
     limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
+    if bound > 0:
+        limit = min(limit, bound)
     manager = qts.manager
     baseline = manager.cache_counters()
     watch = Stopwatch().start()
@@ -111,8 +135,12 @@ def reachable_space(qts: QuantumTransitionSystem,
         else:
             trace.converged = False
     finally:
+        # stop the clock before releasing the engine: the sliced
+        # strategy's pool shutdown (ProcessPoolExecutor.shutdown with
+        # wait=True) is teardown, not fixpoint work, and must not be
+        # billed to the trace
+        trace.stats.seconds = watch.stop()
         engine.close()
-    trace.stats.seconds = watch.stop()
     if gc:
         manager.collect()
     trace.stats.record_manager(manager, baseline)

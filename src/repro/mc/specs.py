@@ -3,7 +3,9 @@
 A spec is a temporal formula over the Birkhoff-von Neumann proposition
 algebra of :mod:`repro.mc.logic`::
 
-    spec     := 'AG' prop | 'EF' prop | prop
+    spec     := temporal prop | prop
+    temporal := ('AG' | 'EF') bound?
+    bound    := '[' '<=' INT ']'          # bounded operator, INT >= 1
     prop     := term ('|' term)*          # join, lowest precedence
     term     := factor ('&' factor)*      # meet
     factor   := '~' factor | '(' prop ')' | ATOM
@@ -11,6 +13,9 @@ algebra of :mod:`repro.mc.logic`::
 
 ``~`` binds tightest, then ``&``, then ``|`` — so ``AG (inv & ~bad)``
 and ``EF target | marked`` parse the way propositional logic reads.
+``AG[<=k] φ`` / ``EF[<=k] φ`` are the *bounded* operators: the
+property is evaluated over the space reachable within at most ``k``
+transitions instead of the full fixpoint.
 Atoms are *names*: they resolve against the subspaces a model registers
 (:meth:`~repro.systems.qts.QuantumTransitionSystem.register_subspace`),
 with ``init`` always available as the model's initial subspace.
@@ -42,9 +47,13 @@ _TOKEN_RE = re.compile(r"""
     (?P<ws>\s+)
   | (?P<lparen>\()
   | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<le><=)
   | (?P<and>&)
   | (?P<or>\|)
   | (?P<not>~)
+  | (?P<number>\d+)
   | (?P<atom>[A-Za-z_][A-Za-z0-9_]*)
 """, re.VERBOSE)
 
@@ -96,13 +105,35 @@ class _Parser:
             raise SpecError("empty specification")
         kind, value, _ = self.peek()
         temporal = None
+        bound = None
         if kind == "atom" and value in _TEMPORAL_KEYWORDS:
             temporal = _TEMPORAL_KEYWORDS[value]
             self.advance()
+            if self.peek()[0] == "lbracket":
+                bound = self.parse_bound()
         prop = self.parse_or()
         if self.peek()[0] != "end":
             self.fail("expected '&', '|' or end of spec")
-        return temporal(prop) if temporal else prop
+        return temporal(prop, bound=bound) if temporal else prop
+
+    def parse_bound(self) -> int:
+        """``'[' '<=' INT ']'`` after a temporal keyword."""
+        self.advance()  # the '['
+        if self.peek()[0] != "le":
+            self.fail("expected '<=' in temporal bound")
+        self.advance()
+        kind, value, position = self.peek()
+        if kind != "number":
+            self.fail("expected a step count after '<='")
+        bound = int(value)
+        if bound < 1:
+            raise SpecError(f"temporal bound must be >= 1, got {bound} "
+                            f"at position {position} in spec {self.text!r}")
+        self.advance()
+        if self.peek()[0] != "rbracket":
+            self.fail("expected ']' after temporal bound")
+        self.advance()
+        return bound
 
     def parse_or(self) -> Proposition:
         node = self.parse_and()
@@ -161,7 +192,7 @@ def parse_spec(text: str) -> Spec:
 def to_text(spec: Spec) -> str:
     """Render an AST back to parseable text (the round-trip inverse)."""
     if isinstance(spec, TemporalSpec):
-        return f"{spec.keyword} {to_text(spec.inner)}"
+        return f"{spec._prefix()} {to_text(spec.inner)}"
     if isinstance(spec, (Name, Atomic)):
         return spec.name
     if isinstance(spec, Not):
@@ -184,7 +215,7 @@ def resolve(spec: Spec, qts: QuantumTransitionSystem) -> Spec:
     resolution is idempotent.
     """
     if isinstance(spec, TemporalSpec):
-        return type(spec)(resolve(spec.inner, qts))
+        return type(spec)(resolve(spec.inner, qts), bound=spec.bound)
     if isinstance(spec, Name):
         return Atomic(qts.named_subspace(spec.name), spec.name)
     if isinstance(spec, Atomic):

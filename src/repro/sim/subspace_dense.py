@@ -71,6 +71,15 @@ class DenseSubspace:
                 vectors.append(e @ self.basis[:, col])
         return DenseSubspace.from_vectors(vectors, self.dim)
 
+    def preimage(self, kraus: Sequence[np.ndarray]) -> "DenseSubspace":
+        """``span { E_j^dagger v }`` — the adjoint image.
+
+        The dense twin of backward (preimage) analysis: a state ``u``
+        can transition onto a component of this subspace iff ``u`` is
+        not orthogonal to the preimage (``<v|E u> = <E^dagger v|u>``).
+        """
+        return self.image([e.conj().T for e in kraus])
+
     # ------------------------------------------------------------------
     def contains_vector(self, vector: np.ndarray, tol: float = 1e-7) -> bool:
         v = np.asarray(vector, dtype=complex).reshape(-1)

@@ -32,6 +32,7 @@ class QuantumOperation:
                                f"on different qubit counts {widths}")
         self.symbol = symbol
         self.kraus_circuits = kraus_circuits
+        self._adjoint: "QuantumOperation" = None
 
     @property
     def num_qubits(self) -> int:
@@ -54,6 +55,22 @@ class QuantumOperation:
         total = sum(e.conj().T @ e for e in matrices)
         values = np.linalg.eigvalsh(total)
         return bool(values.max() <= 1.0 + tol)
+
+    def adjoint(self, symbol: str = "") -> "QuantumOperation":
+        """The adjoint operation ``T_sigma^dagger = { E_j^dagger }``.
+
+        Each Kraus circuit is inverted (gates reversed and daggered),
+        which is exactly the Kraus family of the adjoint map — the
+        transition relation of *backward* (preimage) analysis.  The
+        result is cached and its own adjoint points back here, so
+        ``op.adjoint().adjoint() is op``.
+        """
+        if self._adjoint is None:
+            out = QuantumOperation(symbol or f"{self.symbol}~",
+                                   [c.inverse() for c in self.kraus_circuits])
+            out._adjoint = self
+            self._adjoint = out
+        return self._adjoint
 
     @staticmethod
     def unitary(symbol: str, circuit: QuantumCircuit) -> "QuantumOperation":

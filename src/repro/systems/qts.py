@@ -52,11 +52,14 @@ class QuantumTransitionSystem:
         self.manager = manager if manager is not None else TDDManager()
         self.space = StateSpace(self.manager, num_qubits)
         self._register_indices()
-        #: The initial subspace S0; populate via set_initial_* helpers.
-        self.initial: Subspace = self.space.zero_subspace()
+        # one-element holder so the adjoint system can share S0 by
+        # reference (see the ``initial`` property and :meth:`adjoint`)
+        self._initial_cell = [self.space.zero_subspace()]
         #: Named subspaces — the atoms the specification language
         #: resolves (see repro.mc.specs); ``init`` is always available.
         self.named_subspaces: Dict[str, Subspace] = {}
+        #: lazily built adjoint system (see :meth:`adjoint`)
+        self._adjoint: Optional["QuantumTransitionSystem"] = None
 
     # ------------------------------------------------------------------
     def _register_indices(self) -> None:
@@ -74,6 +77,19 @@ class QuantumTransitionSystem:
     # ------------------------------------------------------------------
     # initial-space helpers
     # ------------------------------------------------------------------
+    @property
+    def initial(self) -> Subspace:
+        """The initial subspace S0; populate via set_initial_* helpers.
+
+        Backed by a cell shared with the adjoint system, so replacing
+        either side's initial space is seen by both.
+        """
+        return self._initial_cell[0]
+
+    @initial.setter
+    def initial(self, subspace: Subspace) -> None:
+        self._initial_cell[0] = subspace
+
     def set_initial_states(self, states: Iterable[TDD]) -> "QuantumTransitionSystem":
         self.initial = self.space.span(states)
         return self
@@ -118,6 +134,38 @@ class QuantumTransitionSystem:
             raise SystemError_(
                 f"model {self.name!r} has no subspace named {name!r}; "
                 f"available atoms: {available}") from None
+
+    # ------------------------------------------------------------------
+    # the adjoint system (backward / preimage analysis)
+    # ------------------------------------------------------------------
+    def adjoint(self) -> "QuantumTransitionSystem":
+        """The adjoint system ``(H, S0, Sigma, T^dagger)``.
+
+        Every operation is replaced by its Kraus-dagger adjoint
+        (:meth:`~repro.systems.operations.QuantumOperation.adjoint`);
+        the manager, the ambient state space, the initial subspace and
+        the named-subspace registry are *shared* with this system, so
+        any subspace of this system is directly usable as an initial or
+        target set of the adjoint one.  Computing images of the adjoint
+        system is preimage computation for this one — the transition
+        relation of backward reachability.  The result is cached, and
+        ``qts.adjoint().adjoint() is qts``.
+        """
+        if self._adjoint is None:
+            adj = QuantumTransitionSystem(
+                self.num_qubits,
+                [op.adjoint() for op in self.operations],
+                manager=self.manager, name=f"{self.name}~")
+            # share the ambient space (and everything denoted in it) so
+            # Subspace identity checks hold across the pair; the
+            # constructor's freshly built space registers no new index
+            # names and is simply discarded
+            adj.space = self.space
+            adj.named_subspaces = self.named_subspaces
+            adj._initial_cell = self._initial_cell
+            adj._adjoint = self
+            self._adjoint = adj
+        return self._adjoint
 
     # ------------------------------------------------------------------
     @property

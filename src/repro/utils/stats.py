@@ -37,6 +37,10 @@ class StatsRecorder:
     slices: int = 0
     #: Cofactor subproblems shipped to the worker pool.
     parallel_tasks: int = 0
+    #: Cofactor batches that were meant for the pool but ran inline
+    #: (pool unavailable or broken mid-batch) — nonzero means the run
+    #: quietly lost parallelism.
+    pool_fallbacks: int = 0
     #: Garbage collection: number of collect() runs and nodes freed.
     gc_runs: int = 0
     nodes_reclaimed: int = 0
@@ -95,6 +99,7 @@ class StatsRecorder:
         self.cache_evictions += other.cache_evictions
         self.slices += other.slices
         self.parallel_tasks += other.parallel_tasks
+        self.pool_fallbacks += other.pool_fallbacks
         self.gc_runs += other.gc_runs
         self.nodes_reclaimed += other.nodes_reclaimed
         self.peak_live_nodes = max(self.peak_live_nodes,
@@ -113,6 +118,7 @@ class StatsRecorder:
             "cache_evictions": self.cache_evictions,
             "slices": self.slices,
             "parallel_tasks": self.parallel_tasks,
+            "pool_fallbacks": self.pool_fallbacks,
             "gc_runs": self.gc_runs,
             "nodes_reclaimed": self.nodes_reclaimed,
             "peak_live_nodes": self.peak_live_nodes,

@@ -221,6 +221,66 @@ class TestProcessPool:
         assert np.allclose(result.subspace.to_dense(), dense_mono)
         assert result.stats.parallel_tasks == 0
 
+    def test_pool_fallbacks_counted_on_submit_failure(self):
+        # a degraded run must be distinguishable from a sliced one in
+        # the stats: every batch that was meant for the pool but ran
+        # inline increments pool_fallbacks
+        class ExplodingPool:
+            def submit(self, *_args, **_kwargs):
+                raise OSError("no processes on this host")
+
+            def shutdown(self, wait=True):
+                pass
+
+        qts = models.build_model("grover", 3)
+        with ImageEngine(qts, "basic", strategy="sliced", jobs=2) as engine:
+            engine.executor.pool_min_nodes = 0
+            engine.executor._pool = ExplodingPool()
+            result = engine.compute_image()
+        assert result.stats.pool_fallbacks > 0
+        assert result.stats.parallel_tasks == 0
+
+    def test_pool_fallbacks_counted_on_unavailable_pool(self):
+        qts = models.build_model("grover", 3)
+        with ImageEngine(qts, "basic", strategy="sliced", jobs=2) as engine:
+            engine.executor.pool_min_nodes = 0
+            engine.executor._pool_broken = True
+            result = engine.compute_image()
+        assert result.stats.pool_fallbacks > 0
+        assert "pool_fallbacks" in result.stats.as_dict()
+
+    def test_healthy_pool_records_no_fallbacks(self):
+        qts = models.build_model("grover", 3)
+        with ImageEngine(qts, "basic", strategy="sliced", jobs=2) as engine:
+            engine.executor.pool_min_nodes = 0
+            result = engine.compute_image()
+        assert result.stats.parallel_tasks > 0
+        assert result.stats.pool_fallbacks == 0
+
+    def test_order_reshipped_once_after_growth(self):
+        # regression: the watermark never advanced after a re-ship, so
+        # every batch after an index registration re-serialised the
+        # full order payload
+        from repro.indices.index import Index
+        qts, state, operator, sum_over = TestExecutorUnit(
+        )._operator_setup("grover", 3)
+        executor = SlicedExecutor(qts.manager, depth=2, jobs=2,
+                                  pool_min_nodes=0)
+        try:
+            executor.contract(state, operator, sum_over)
+            assert executor._pool is not None
+            assert executor._order_ships == 0  # initializer covered it
+            baseline = executor._pool_order_len
+            qts.manager.register(Index("late_index"))
+            executor.contract(state, operator, sum_over)
+            assert executor._order_ships == 1
+            assert executor._pool_order_len == baseline + 1
+            executor.contract(state, operator, sum_over)
+            executor.contract(state, operator, sum_over)
+            assert executor._order_ships == 1  # not re-serialised again
+        finally:
+            executor.close()
+
 
 class TestTopLevelPlumbing:
     def test_reachable_space_sliced(self):

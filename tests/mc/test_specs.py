@@ -32,6 +32,55 @@ class TestParsing:
         assert parse_spec("AG(a&~b)") == parse_spec("AG ( a & ~ b )")
 
 
+class TestBoundedOperators:
+    def test_bounded_wrappers(self):
+        assert parse_spec("AG[<=3] inv") == Always(Name("inv"), bound=3)
+        assert parse_spec("EF[<=1] target") == \
+            Eventually(Name("target"), bound=1)
+
+    def test_bound_whitespace_insensitive(self):
+        assert parse_spec("AG [ <= 12 ] a") == parse_spec("AG[<=12] a")
+
+    def test_bound_distinguishes_specs(self):
+        assert parse_spec("AG[<=2] a") != parse_spec("AG[<=3] a")
+        assert parse_spec("AG[<=2] a") != parse_spec("AG a")
+
+    def test_bounded_round_trip(self):
+        for text in ("AG[<=3] (inv & ~bad)", "EF[<=1] target",
+                     "AG[<=10] a"):
+            spec = parse_spec(text)
+            assert to_text(spec) == text
+            assert parse_spec(to_text(spec)) == spec
+
+    def test_bounded_resolution_preserves_bound(self):
+        qts = models.grover_qts(3)
+        resolved = resolve(parse_spec("EF[<=2] marked"), qts)
+        assert isinstance(resolved, Eventually)
+        assert resolved.bound == 2
+        assert isinstance(resolved.inner, Atomic)
+
+    @pytest.mark.parametrize("text", [
+        "AG[<=0] a",      # zero bound is ambiguous with "unbounded"
+        "AG[3] a",        # missing <=
+        "AG[<=] a",       # missing count
+        "AG[<=x] a",      # non-numeric count
+        "AG[<=3 a",       # unclosed bracket
+        "AG <=3 a",       # bound without brackets
+        "a[<=3]",         # bound on a bare proposition
+    ])
+    def test_malformed_bounds_rejected(self, text):
+        with pytest.raises(SpecError):
+            parse_spec(text)
+
+    def test_ast_bound_validation(self):
+        with pytest.raises(SpecError):
+            Always(Name("a"), bound=0)
+        with pytest.raises(SpecError):
+            Eventually(Name("a"), bound=-2)
+        with pytest.raises(SpecError):
+            Always(Name("a"), bound="three")
+
+
 class TestPrecedence:
     def test_meet_binds_tighter_than_join(self):
         assert parse_spec("a & b | c") == \

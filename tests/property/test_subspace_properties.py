@@ -57,6 +57,24 @@ class TestJoinLaws:
         j = a.join(b)
         assert j.contains(a) and j.contains(b)
 
+    @given(vectors_strategy(3), vectors_strategy(3))
+    def test_join_keeps_existing_basis_as_untouched_prefix(self, va, vb):
+        # frontier-mode reachability slices grown.basis[dim:] and spans
+        # it as the new frontier — sound only if join leaves the left
+        # operand's basis as an untouched prefix and every appended
+        # vector is orthogonal to the left operand
+        space = make_space(N_QUBITS)
+        a, b = span_of(space, va), span_of(space, vb)
+        j = a.join(b)
+        assert len(j.basis) >= len(a.basis)
+        assert all(kept is original
+                   for kept, original in zip(j.basis, a.basis))
+        dense_a = subspace_to_dense(a)
+        for added in j.basis[a.dimension:]:
+            vector = added.to_numpy().reshape(-1)
+            projected = dense_a.projector() @ vector
+            assert np.linalg.norm(projected) < 1e-7
+
     @given(vectors_strategy(3))
     def test_projector_hermitian_idempotent(self, va):
         space = make_space(N_QUBITS)

@@ -204,6 +204,64 @@ class TestExecuteRun:
         assert record["verdict"] == "holds"
         assert record["backend"] == "dense"
 
+    def test_direction_bound_and_trace_columns(self):
+        record = execute_run(RunSpec(
+            model="grover", size=3,
+            config=CheckerConfig(method="basic", direction="backward",
+                                 bound=2),
+            spec="AG plus"))
+        assert record["direction"] == "backward"
+        assert record["bound"] == 2
+        assert record["verdict"] == "violated"
+        assert record["trace_length"] == 1
+        assert record["trace_valid"] is True
+        assert "backward" in record["run_id"]
+        assert "bound=2" in record["run_id"]
+
+    def test_image_record_has_default_trace_columns(self):
+        record = execute_run(RunSpec(model="ghz", size=3,
+                                     method="basic"))
+        assert record["direction"] == "forward"
+        assert record["bound"] == 0
+        assert record["trace_length"] == 0
+        assert record["pool_fallbacks"] == 0
+
+
+class TestDirectionAxes:
+    def test_from_axes_crosses_directions_and_bounds(self):
+        spec = SweepSpec.from_axes(
+            "dirs", ["grover"], [3], methods=("basic",),
+            directions=("forward", "backward"), bounds=(0, 2),
+            specs=("AG plus",))
+        assert len(spec.runs) == 4
+        ids = {run.run_id for run in spec.runs}
+        assert len(ids) == 4
+        assert any("dir=backward" in rid for rid in ids)
+        assert any("bound=2" in rid for rid in ids)
+
+    def test_forward_unbounded_run_id_unchanged(self):
+        # legacy artifacts must still resume: default direction/bound
+        # leave the pre-existing run_id format untouched
+        run = RunSpec(model="ghz", size=4,
+                      config=CheckerConfig(method="basic"))
+        assert run.run_id == "ghz4/basic/tdd/monolithic"
+
+    def test_from_dict_direction_axes(self):
+        spec = SweepSpec.from_dict({
+            "name": "d", "models": ["ghz"], "sizes": [3],
+            "methods": ["basic"], "directions": ["backward"],
+            "bounds": [1], "specs": ["AG init"]})
+        assert spec.runs[0].direction == "backward"
+        assert spec.runs[0].bound == 1
+
+    def test_bounds_axis_skipped_for_image_rows(self):
+        # a plain image benchmark is one step: crossing the bounds axis
+        # in would record the same measurement under distinct run_ids
+        spec = SweepSpec.from_axes("b", ["ghz"], [3], methods=("basic",),
+                                   bounds=(0, 2, 4))
+        assert len(spec.runs) == 1
+        assert spec.runs[0].bound == 0
+
 
 class TestRunSweep:
     def test_inline_order_and_artifacts(self, tmp_path):

@@ -78,6 +78,44 @@ class TestCheck:
         assert "position" in capsys.readouterr().err
 
 
+class TestDirectionFlags:
+    def test_check_backward_direction(self, capsys):
+        assert main(["check", "grover", "--size", "3",
+                     "--spec", "AG plus", "--direction", "backward"]) == 1
+        out = capsys.readouterr().out
+        assert "direction=backward" in out
+        assert "initial directions reaching the event" in out
+
+    def test_check_prints_witness_trace(self, capsys):
+        assert main(["check", "grover", "--size", "3",
+                     "--spec", "AG plus"]) == 1
+        out = capsys.readouterr().out
+        assert "trace      = G (1 steps, replay ok" in out
+
+    def test_check_bounded_spec_text(self, capsys):
+        assert main(["check", "qrw", "--size", "3",
+                     "--spec", "AG[<=1] init"]) == 1
+        out = capsys.readouterr().out
+        assert "spec       = AG[<=1] init" in out
+
+    def test_check_bound_flag(self, capsys):
+        assert main(["check", "qrw", "--size", "3",
+                     "--spec", "AG init", "--bound", "1"]) == 1
+        assert "bound=1" in capsys.readouterr().out
+
+    def test_reach_backward_bounded(self, capsys):
+        assert main(["reach", "qrw", "--size", "3", "--direction",
+                     "backward", "--bound", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "direction=backward" in out
+        assert "(2 iterations)" in out
+
+    def test_image_backward_preimage(self, capsys):
+        assert main(["image", "ghz", "--size", "3", "--method", "basic",
+                     "--direction", "backward"]) == 0
+        assert "dim(T~(S0))" in capsys.readouterr().out
+
+
 class TestConfigValidation:
     def test_dense_with_explicit_tdd_flags_rejected(self, capsys):
         # regression: these used to be silently dropped

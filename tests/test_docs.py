@@ -53,7 +53,8 @@ class TestCliReferenceInSync:
     def test_image_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["image", "--help"])
         for flag in ("--size", "--method", "--backend", "--strategy",
-                     "--jobs", "--slice-depth", "--k1", "--k2"):
+                     "--jobs", "--slice-depth", "--k1", "--k2",
+                     "--direction", "--bound"):
             assert flag in text
             assert flag.lstrip("-").replace("-", "") in \
                 readme.replace("-", ""), \
@@ -62,7 +63,7 @@ class TestCliReferenceInSync:
     def test_check_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["check", "--help"])
         for flag in ("--spec", "--max-iterations", "--backend",
-                     "--strategy"):
+                     "--strategy", "--direction", "--bound"):
             assert flag in text
             assert flag.lstrip("-").replace("-", "") in \
                 readme.replace("-", ""), \
@@ -71,18 +72,22 @@ class TestCliReferenceInSync:
     def test_sweep_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["sweep", "--help"])
         for flag in ("--spec", "--models", "--sizes", "--methods",
-                     "--backends", "--strategies", "--check", "--jobs",
+                     "--backends", "--strategies", "--directions",
+                     "--bounds", "--check", "--jobs",
                      "--out", "--no-resume"):
             assert flag in text
             assert flag in readme, f"flag {flag} missing from README"
 
     def test_choices_documented(self, readme):
+        from repro.image.engine import DIRECTIONS
         for method in METHODS:
             assert method in readme
         for strategy in STRATEGIES:
             assert strategy in readme
         for backend in BACKENDS:
             assert backend in readme
+        for direction in DIRECTIONS:
+            assert direction in readme
 
     def test_models_documented(self, readme):
         # every CLI-selectable model appears in the README
