@@ -9,7 +9,7 @@ block-cache effect on repeated images (reachability's workhorse).
 
 import pytest
 
-from repro.image.engine import compute_image, make_computer
+from repro.image.engine import make_computer
 from repro.systems import models
 from repro.utils.stats import StatsRecorder
 

@@ -50,16 +50,19 @@ def main() -> None:
     assert returns.holds
 
     # --- reachability fixpoint ---------------------------------------
-    trace = returns                     # the result carries the trace
-    print(f"reachable dimensions per iteration: {trace.dimensions}")
-    print(f"walk fills the space: {trace.reachable_dimension == 16}")
-    assert trace.reachable_dimension == 16
+    # ReachabilityTrace formats itself (dimension, iterations,
+    # convergence, direction) and exposes the per-round growth
+    trace = checker.reachable()
+    print(trace)
+    print(f"dimension growth per round: {trace.dimensions_delta}")
+    print(f"walk fills the space: {trace.dimension == 16}")
+    assert trace.dimension == 16
 
     # --- noise does not change what is reachable here ----------------
     clean = ModelChecker(models.qrw_qts(4, 0.0, start_position=3),
                          CONFIG).check("EF start")
     print(f"noiseless reachable dimension: {clean.reachable_dimension} "
-          f"(same: {clean.reachable_dimension == trace.reachable_dimension})")
+          f"(same: {clean.reachable_dimension == trace.dimension})")
 
 
 if __name__ == "__main__":

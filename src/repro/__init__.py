@@ -63,9 +63,13 @@ from repro.mc.backends import (Backend, DenseStatevectorBackend, TDDBackend,
                                cross_validate, make_backend)
 from repro.mc.checker import CheckResult, ModelChecker
 from repro.mc.config import CheckerConfig
+from repro.mc.drivers import (DRIVERS, FixpointDriver, FrontierDriver,
+                              OpShardedDriver, SequentialDriver,
+                              make_driver)
 from repro.mc.logic import (Always, Atomic, Eventually, Join, Meet, Name,
                             Not, Proposition)
-from repro.mc.reachability import reachable_space
+from repro.mc.reachability import (ReachabilityCache, ReachabilityTrace,
+                                   reachable_space)
 from repro.mc.specs import parse_spec, to_text
 from repro.subspace.subspace import StateSpace, Subspace
 from repro.subspace.projector import basis_decompose
@@ -87,6 +91,9 @@ __all__ = [
     "Backend", "DenseStatevectorBackend", "TDDBackend",
     "cross_validate", "make_backend",
     "CheckerConfig", "CheckResult", "ModelChecker", "reachable_space",
+    "DRIVERS", "FixpointDriver", "SequentialDriver", "OpShardedDriver",
+    "FrontierDriver", "make_driver",
+    "ReachabilityCache", "ReachabilityTrace",
     "Always", "Atomic", "Eventually", "Join", "Meet", "Name", "Not",
     "Proposition", "parse_spec", "to_text",
     "StateSpace", "Subspace", "basis_decompose",

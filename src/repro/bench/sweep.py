@@ -43,19 +43,20 @@ from repro.errors import ReproError
 from repro.image.sliced import DEFAULT_SLICE_DEPTH
 from repro.mc.checker import ModelChecker
 from repro.mc.config import CheckerConfig, _warn_legacy
+from repro.mc.reachability import ReachabilityCache
 from repro.systems import models
 from repro.utils.tables import format_table
 
 #: the flat column schema of the CSV artifact (and of every record)
 CSV_COLUMNS = (
     "run_id", "label", "model", "size", "method", "backend", "strategy",
-    "jobs", "slice_depth", "direction", "bound", "spec", "verdict",
-    "witness_dimension", "trace_length", "trace_valid",
-    "iterations", "converged", "dimension", "seconds", "max_nodes",
-    "contractions", "additions", "cache_hits", "cache_misses",
-    "cache_hit_rate", "cache_evictions", "slices", "parallel_tasks",
-    "pool_fallbacks", "gc_runs", "nodes_reclaimed", "peak_live_nodes",
-    "live_nodes", "failed", "error",
+    "jobs", "slice_depth", "driver", "direction", "bound", "spec",
+    "verdict", "witness_dimension", "trace_length", "trace_valid",
+    "iterations", "converged", "cache_warm", "dimension", "seconds",
+    "max_nodes", "contractions", "additions", "cache_hits",
+    "cache_misses", "cache_hit_rate", "cache_evictions", "slices",
+    "parallel_tasks", "pool_fallbacks", "gc_runs", "nodes_reclaimed",
+    "peak_live_nodes", "live_nodes", "failed", "error",
 )
 
 #: RunSpec keyword arguments that predate CheckerConfig
@@ -140,6 +141,10 @@ class RunSpec:
     def bound(self) -> int:
         return self.config.bound
 
+    @property
+    def driver(self) -> str:
+        return self.config.driver
+
     # ------------------------------------------------------------------
     @property
     def run_id(self) -> str:
@@ -157,6 +162,8 @@ class RunSpec:
                  self.strategy]
         if self.strategy != "monolithic":
             parts.append(f"jobs={self.jobs},depth={self.slice_depth}")
+        if self.driver != "sequential":
+            parts.append(f"driver={self.driver}")
         if self.direction != "forward":
             parts.append(f"dir={self.direction}")
         if self.bound:
@@ -222,6 +229,7 @@ class SweepSpec:
                   specs: Sequence[Optional[str]] = (None,),
                   directions: Sequence[str] = ("forward",),
                   bounds: Sequence[int] = (0,),
+                  drivers: Sequence[str] = ("sequential",),
                   jobs_per_run: int = 1,
                   slice_depth: int = DEFAULT_SLICE_DEPTH,
                   method_params: Optional[Dict[str, dict]] = None,
@@ -233,27 +241,31 @@ class SweepSpec:
         ``model_params`` applies to every run; ``specs`` adds
         property-check rows (``None`` = plain image benchmark);
         ``directions``/``bounds`` cross the grid with backward
-        (preimage) analysis and depth-limited fixpoints.  The dense
-        backend ignores methods and strategies, so crossing it with
-        those axes would duplicate work — duplicate configurations are
-        dropped (by ``run_id``).
+        (preimage) analysis and depth-limited fixpoints; ``drivers``
+        with the fixpoint schedules of :mod:`repro.mc.drivers`.  The
+        dense backend ignores methods and strategies, so crossing it
+        with those axes would duplicate work — duplicate
+        configurations are dropped (by ``run_id``).
         """
         method_params = method_params or {}
         runs: List[RunSpec] = []
         seen = set()
         cells = itertools.product(model_names, sizes, specs, backends,
-                                  methods, strategies, directions, bounds)
+                                  methods, strategies, directions, bounds,
+                                  drivers)
         for (model, size, spec_text, backend, method, strategy,
-             direction, bound) in cells:
+             direction, bound, driver) in cells:
             if spec_text is None:
                 # a plain image benchmark is a single step — a fixpoint
-                # bound cannot affect it, so crossing the bounds axis
-                # in would only duplicate the measurement (the run_id
-                # dedup below then collapses the copies)
+                # bound or schedule cannot affect it, so crossing those
+                # axes in would only duplicate the measurement (the
+                # run_id dedup below then collapses the copies)
                 bound = 0
+                driver = "sequential"
             if backend == "dense":
                 config = CheckerConfig(backend="dense",
-                                       direction=direction, bound=bound)
+                                       direction=direction, bound=bound,
+                                       driver=driver)
             else:
                 sliced = strategy == "sliced"
                 config = CheckerConfig(
@@ -263,7 +275,7 @@ class SweepSpec:
                     slice_depth=(slice_depth if sliced
                                  else DEFAULT_SLICE_DEPTH),
                     method_params=dict(method_params.get(method, {})),
-                    direction=direction, bound=bound)
+                    direction=direction, bound=bound, driver=driver)
             run = RunSpec(model=model, size=size, config=config,
                           spec=spec_text,
                           model_params=dict(model_params or {}))
@@ -308,6 +320,7 @@ class SweepSpec:
             specs=data.get("specs", (None,)),
             directions=data.get("directions", ("forward",)),
             bounds=data.get("bounds", (0,)),
+            drivers=data.get("drivers", ("sequential",)),
             jobs_per_run=data.get("jobs_per_run", 1),
             slice_depth=data.get("slice_depth", DEFAULT_SLICE_DEPTH),
             method_params=data.get("method_params"),
@@ -326,7 +339,8 @@ class SweepSpec:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
-def execute_run(spec: RunSpec) -> dict:
+def execute_run(spec: RunSpec,
+                reach_cache: Optional[ReachabilityCache] = None) -> dict:
     """Run one configuration in-process and return its flat record.
 
     Builds a fresh QTS (construction time is part of the measurement),
@@ -334,19 +348,29 @@ def execute_run(spec: RunSpec) -> dict:
     the run carries a property ``spec`` — checks it through
     :meth:`~repro.mc.checker.ModelChecker.check`, and flattens the
     outcome into the :data:`CSV_COLUMNS` schema.
+
+    ``reach_cache`` warm-starts the reachability fixpoint behind
+    property-check rows: the reachable subspace depends only on the
+    transition relation, the fixpoint seed, the direction and the
+    bound — not on the image method, execution strategy or driver — so
+    a sweep crossing those axes pays the iteration ladder once per
+    (model, size, spec, direction) cell and replays it from the cache
+    for every other configuration.  Warm rows carry
+    ``cache_warm=True``.
     """
     record = {"model": spec.model, "size": spec.size,
               "method": spec.method, "backend": spec.backend,
               "strategy": spec.strategy, "jobs": spec.jobs,
               "slice_depth": spec.slice_depth, "label": spec.label,
-              "direction": spec.direction, "bound": spec.bound,
-              "spec": spec.spec or "", "verdict": "",
+              "driver": spec.driver, "direction": spec.direction,
+              "bound": spec.bound, "spec": spec.spec or "",
+              "verdict": "", "cache_warm": False,
               "run_id": spec.run_id, "failed": False, "error": ""}
     try:
         qts = models.build_model(spec.model, spec.size, **spec.model_params)
         checker = ModelChecker(qts, spec.config)
         if spec.spec is not None:
-            result = checker.check(spec.spec)
+            result = checker.check(spec.spec, reach_cache=reach_cache)
             record["verdict"] = result.verdict
             record["witness_dimension"] = result.witness_dimension
             record["trace_length"] = result.trace_length
@@ -355,6 +379,8 @@ def execute_run(spec: RunSpec) -> dict:
                                      else False)
             record["iterations"] = result.iterations
             record["converged"] = result.converged
+            record["cache_warm"] = bool(
+                result.stats.extra.get("cache_warm", False))
             record["dimension"] = result.reachable_dimension
             stats = result.stats.as_dict()
         else:
@@ -373,9 +399,16 @@ def execute_run(spec: RunSpec) -> dict:
     return record
 
 
-def _execute_payload(payload: dict) -> dict:
+#: per-worker-process warm-start cache: pool workers outlive single
+#: runs, so configurations landing on the same worker share fixpoints
+_WORKER_REACH_CACHE = ReachabilityCache()
+
+
+def _execute_payload(payload: dict, warm_start: bool = True) -> dict:
     """Process-pool entry point (a :class:`RunSpec` as a plain dict)."""
-    return execute_run(RunSpec.from_dict(payload))
+    return execute_run(RunSpec.from_dict(payload),
+                       reach_cache=(_WORKER_REACH_CACHE if warm_start
+                                    else None))
 
 
 @dataclass
@@ -429,8 +462,8 @@ def write_csv(csv_path: str, records: Iterable[dict]) -> None:
 
 def run_sweep(spec: SweepSpec, jobs: int = 1,
               out_dir: Optional[str] = None, resume: bool = True,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> SweepResult:
+              progress: Optional[Callable[[str], None]] = None,
+              warm_start: bool = True) -> SweepResult:
     """Execute a sweep, optionally fanning runs out over a process pool.
 
     ``jobs`` is the number of *concurrent configurations*; each one
@@ -438,6 +471,15 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
     ``out_dir`` set, the JSON artifact is rewritten after every
     completed run and ``resume=True`` (the default) skips run ids
     already present in it — a killed sweep continues where it stopped.
+
+    ``warm_start=True`` (the default) shares reachability fixpoints
+    between property-check rows that differ only in image method,
+    execution strategy or driver (see
+    :class:`~repro.mc.reachability.ReachabilityCache`); warm rows carry
+    ``cache_warm=True``.  Pass ``warm_start=False`` (CLI:
+    ``--no-warm-start``) when the sweep's purpose is to *benchmark* the
+    fixpoint itself — a warm-started row measures one confirming round,
+    not the configured engine's full iteration ladder.
     """
     say = progress if progress is not None else (lambda _msg: None)
     json_path = csv_path = None
@@ -473,7 +515,8 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
 
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {pool.submit(_execute_payload, run.as_dict()): run
+            futures = {pool.submit(_execute_payload, run.as_dict(),
+                                   warm_start): run
                        for run in pending}
             remaining = set(futures)
             while remaining:
@@ -482,8 +525,12 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
                 for future in done:
                     record_done(future.result())
     else:
+        # one warm-start cache per sweep: runs differing only in
+        # method/strategy/driver reuse each other's fixpoints without
+        # leaking state beyond this invocation
+        reach_cache = ReachabilityCache() if warm_start else None
         for run in pending:
-            record_done(execute_run(run))
+            record_done(execute_run(run, reach_cache=reach_cache))
 
     records = [by_id[run.run_id] for run in spec.runs]
     if csv_path is not None:
@@ -554,6 +601,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--bounds", type=_csv_ints, default=[0],
                         help="comma-separated fixpoint depth bounds "
                              "(0 = saturation)")
+    parser.add_argument("--drivers", type=_csv_names,
+                        default=["sequential"],
+                        help="comma-separated fixpoint drivers "
+                             "(sequential,opsharded,frontier)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="concurrent configurations (process pool)")
     parser.add_argument("--out", default=None,
@@ -561,6 +612,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "resume)")
     parser.add_argument("--no-resume", action="store_true",
                         help="ignore existing artifacts, recompute all")
+    parser.add_argument("--no-warm-start", action="store_true",
+                        help="disable fixpoint reuse between check rows "
+                             "(use when benchmarking the fixpoint "
+                             "itself; warm rows measure one confirming "
+                             "round, not the full iteration ladder)")
     args = parser.parse_args(argv)
 
     if args.spec:
@@ -571,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             backends=args.backends, strategies=args.strategies,
             specs=(args.checks or [None]),
             directions=args.directions, bounds=args.bounds,
+            drivers=args.drivers,
             method_params={"contraction": {"k1": 4, "k2": 4},
                            "addition": {"k": 1},
                            "hybrid": {"k": 1, "k1": 4, "k2": 4}})
@@ -578,7 +635,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("provide --spec FILE, or --models and --sizes")
 
     result = run_sweep(spec, jobs=args.jobs, out_dir=args.out,
-                       resume=not args.no_resume, progress=print)
+                       resume=not args.no_resume, progress=print,
+                       warm_start=not args.no_warm_start)
     print(f"Sweep {spec.name!r}: {len(result.records)} runs "
           f"({result.skipped} resumed, {len(result.failed)} failed)")
     print(format_records(result.records))

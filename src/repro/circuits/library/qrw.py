@@ -15,7 +15,7 @@ yielding two Kraus circuits.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.errors import CircuitError

@@ -9,7 +9,7 @@ inputs ``x_i^0`` and outputs) stay open.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.indices.index import Index

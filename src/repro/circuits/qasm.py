@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Callable, Dict, List
+from typing import Dict
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.errors import CircuitError

@@ -32,16 +32,20 @@ combined with ``&``, ``|``, ``~`` and parentheses.
 {forward,backward}`` (backward = preimage analysis against the adjoint
 Kraus family: ``reach`` computes the states that can *reach* the
 initial set, ``check`` decides the spec from the event set backwards)
-and ``--bound K`` (depth-limit the fixpoint to K image steps).  A
-failed ``AG`` / satisfied ``EF`` check also prints the counterexample
-witness trace — the operation path whose forward replay reproduces the
-event.
+and ``--bound K`` (depth-limit the fixpoint to K image steps).
+``reach``/``check`` additionally take ``--driver
+{sequential,opsharded,frontier}`` — the fixpoint schedule of
+``repro.mc.drivers`` (``--frontier`` remains as shorthand for the
+frontier driver).  A failed ``AG`` / satisfied ``EF`` check also
+prints the counterexample witness trace — the operation path whose
+forward replay reproduces the event.
 
 Examples::
 
     python -m repro image grover --size 4 --method contraction
     python -m repro image qrw --size 5 --strategy sliced --jobs 4
     python -m repro reach qrw --size 4 --frontier
+    python -m repro reach qrw --size 4 --driver opsharded
     python -m repro check grover --size 4 --spec "AG inv"
     python -m repro check grover --size 3 --spec "EF marked" --backend dense
     python -m repro check grover --size 3 --spec "AG plus" --direction backward
@@ -68,6 +72,7 @@ from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
 from repro.mc.backends import cross_validate, make_backend
 from repro.mc.checker import ModelChecker
 from repro.mc.config import BACKENDS, CheckerConfig
+from repro.mc.drivers import DEFAULT_DRIVER, DRIVERS
 from repro.systems import models
 
 #: model name -> builder(size, args); argparse options map onto the
@@ -119,6 +124,16 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="tdd", choices=list(BACKENDS),
                         help="computation engine (dense = exponential "
                              "statevector reference, small sizes only)")
+
+
+def _add_driver_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--driver", default=DEFAULT_DRIVER,
+                        choices=list(DRIVERS),
+                        help="fixpoint schedule: sequential (one "
+                             "monolithic T(S) per round), opsharded "
+                             "(per-operation image tasks, tree-reduced "
+                             "joins), frontier (image only the newly "
+                             "added directions)")
 
 
 def _add_direction_arguments(parser: argparse.ArgumentParser) -> None:
@@ -301,7 +316,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_backend_argument(reach)
     _add_strategy_arguments(reach)
     _add_direction_arguments(reach)
-    reach.add_argument("--frontier", action="store_true")
+    _add_driver_argument(reach)
+    reach.add_argument("--frontier", action="store_true",
+                       help="shorthand for --driver frontier")
     reach.set_defaults(func=_cmd_reach)
 
     check = sub.add_parser(
@@ -312,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_backend_argument(check)
     _add_strategy_arguments(check)
     _add_direction_arguments(check)
+    _add_driver_argument(check)
     check.add_argument("--spec", required=True,
                        help="specification text, e.g. \"AG inv\", "
                             "\"EF marked\", \"AG (inv & ~bad)\", "

@@ -29,7 +29,6 @@ from repro.tdd import construction as tc
 from repro.tdd.manager import TDDManager
 from repro.tdd.tdd import TDD
 from repro.tensor.dense import DenseTensor
-from repro.utils.bitops import int_to_bits
 
 
 class Gate:

@@ -7,7 +7,6 @@ operators for dynamic and noisy circuits.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Sequence
 
 import numpy as np

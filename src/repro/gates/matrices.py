@@ -14,7 +14,7 @@ import numpy as np
 
 SQRT2_INV = 1.0 / math.sqrt(2.0)
 
-I = np.eye(2, dtype=complex)
+I = np.eye(2, dtype=complex)  # noqa: E741 -- the identity matrix's one true name
 X = np.array([[0, 1], [1, 0]], dtype=complex)
 Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
 Z = np.array([[1, 0], [0, -1]], dtype=complex)

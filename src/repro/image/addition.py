@@ -78,20 +78,19 @@ class AdditionImageComputer(ImageComputerBase):
         return self._parts[key]
 
     # ------------------------------------------------------------------
-    def _images_of_state(self, state: TDD,
-                         stats: StatsRecorder) -> Iterator[TDD]:
-        for circuit in self.qts.all_kraus_circuits():
-            parts, inputs, outputs = self.parts_for(circuit, stats)
-            sum_over = input_sum_indices(inputs, outputs)
-            total = None
-            for part in parts:
-                contribution = self.executor.contract(state, part, sum_over,
-                                                      stats)
-                stats.contractions += 1
-                stats.observe_tdd(contribution)
-                total = (contribution if total is None
-                         else total + contribution)
-                stats.observe_tdd(total)
-            if len(parts) > 1:
-                stats.additions += len(parts) - 1
-            yield rename_outputs_to_kets(self.qts.space, total, outputs)
+    def _circuit_images(self, state: TDD, circuit: QuantumCircuit,
+                        stats: StatsRecorder) -> Iterator[TDD]:
+        parts, inputs, outputs = self.parts_for(circuit, stats)
+        sum_over = input_sum_indices(inputs, outputs)
+        total = None
+        for part in parts:
+            contribution = self.executor.contract(state, part, sum_over,
+                                                  stats)
+            stats.contractions += 1
+            stats.observe_tdd(contribution)
+            total = (contribution if total is None
+                     else total + contribution)
+            stats.observe_tdd(total)
+        if len(parts) > 1:
+            stats.additions += len(parts) - 1
+        yield rename_outputs_to_kets(self.qts.space, total, outputs)

@@ -74,20 +74,39 @@ class ImageComputerBase:
     def image(self, subspace: Optional[Subspace] = None,
               stats: Optional[StatsRecorder] = None) -> ImageResult:
         """Compute ``T(S)`` (defaults: ``S`` = the system's initial space)."""
+        return self.partial_image(subspace, self.qts.all_kraus_circuits(),
+                                  stats)
+
+    def partial_image(self, subspace: Optional[Subspace],
+                      circuits: Sequence,
+                      stats: Optional[StatsRecorder] = None) -> ImageResult:
+        """The image restricted to a subset of the Kraus circuits.
+
+        ``T(S)`` is the join of per-circuit contributions (Proposition
+        1), so restricting ``circuits`` to one operation's Kraus family
+        yields that operation's partial image — the unit of work a
+        fixpoint driver schedules (see :mod:`repro.mc.drivers`).  With
+        every circuit of the system this *is* ``image``.
+        """
         if subspace is None:
             subspace = self.qts.initial
         if stats is None:
             stats = StatsRecorder()
         result = Subspace(self.qts.space)
         for state in subspace.basis:
-            for image_state in self._images_of_state(state, stats):
-                stats.observe_tdd(image_state)
-                added = result.add_state(image_state)
-                if added is not None:
-                    stats.observe_tdd(added)
+            for circuit in circuits:
+                for image_state in self._circuit_images(state, circuit,
+                                                        stats):
+                    stats.observe_tdd(image_state)
+                    added = result.add_state(image_state)
+                    if added is not None:
+                        stats.observe_tdd(added)
         stats.observe_nodes(result.projector.size())
         return ImageResult(result, stats)
 
-    # subclasses implement: all Kraus-operator images of one basis state
-    def _images_of_state(self, state: TDD, stats: StatsRecorder):
+    # subclasses implement: all images of one basis state under the
+    # Kraus circuit (one TDD for a plain circuit; partition methods may
+    # fold several contributions before yielding)
+    def _circuit_images(self, state: TDD, circuit,
+                        stats: StatsRecorder):
         raise NotImplementedError

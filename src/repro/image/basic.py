@@ -46,14 +46,12 @@ class BasicImageComputer(ImageComputerBase):
         return self._operators[key]
 
     # ------------------------------------------------------------------
-    def _images_of_state(self, state: TDD,
-                         stats: StatsRecorder) -> Iterator[TDD]:
-        for circuit in self.qts.all_kraus_circuits():
-            operator, inputs, outputs = self.operator_for(circuit, stats)
-            sum_over = input_sum_indices(inputs, outputs)
-            image_state = self.executor.contract(state, operator, sum_over,
-                                                 stats)
-            stats.contractions += 1
-            stats.observe_tdd(image_state)
-            yield rename_outputs_to_kets(self.qts.space, image_state,
-                                         outputs)
+    def _circuit_images(self, state: TDD, circuit: QuantumCircuit,
+                        stats: StatsRecorder) -> Iterator[TDD]:
+        operator, inputs, outputs = self.operator_for(circuit, stats)
+        sum_over = input_sum_indices(inputs, outputs)
+        image_state = self.executor.contract(state, operator, sum_over,
+                                             stats)
+        stats.contractions += 1
+        stats.observe_tdd(image_state)
+        yield rename_outputs_to_kets(self.qts.space, image_state, outputs)

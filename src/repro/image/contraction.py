@@ -95,19 +95,17 @@ class ContractionImageComputer(ImageComputerBase):
         return out
 
     # ------------------------------------------------------------------
-    def _images_of_state(self, state: TDD,
-                         stats: StatsRecorder) -> Iterator[TDD]:
-        for circuit in self.qts.all_kraus_circuits():
-            block_tdds, inputs, outputs = self.blocks_for(circuit, stats)
-            tensors = [state] + list(block_tdds)
-            network = TensorNetwork(tensors, set(outputs))
-            order = None
-            if self.order_policy == "greedy":
-                order = greedy_order(tensors, network.open_indices)
-            image_state = network.contract_all(
-                order=order, observer=stats.observe_tdd,
-                contract_fn=lambda a, b, s: self.executor.contract(
-                    a, b, s, stats))
-            stats.contractions += len(block_tdds)
-            yield rename_outputs_to_kets(self.qts.space, image_state,
-                                         outputs)
+    def _circuit_images(self, state: TDD, circuit: QuantumCircuit,
+                        stats: StatsRecorder) -> Iterator[TDD]:
+        block_tdds, inputs, outputs = self.blocks_for(circuit, stats)
+        tensors = [state] + list(block_tdds)
+        network = TensorNetwork(tensors, set(outputs))
+        order = None
+        if self.order_policy == "greedy":
+            order = greedy_order(tensors, network.open_indices)
+        image_state = network.contract_all(
+            order=order, observer=stats.observe_tdd,
+            contract_fn=lambda a, b, s: self.executor.contract(
+                a, b, s, stats))
+        stats.contractions += len(block_tdds)
+        yield rename_outputs_to_kets(self.qts.space, image_state, outputs)

@@ -18,7 +18,8 @@ wrapper used throughout the benchmarks and the CLI.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.image.addition import AdditionImageComputer
@@ -26,8 +27,7 @@ from repro.image.base import ImageComputerBase, ImageResult
 from repro.image.basic import BasicImageComputer
 from repro.image.contraction import ContractionImageComputer
 from repro.image.hybrid import HybridImageComputer
-from repro.image.sliced import (DEFAULT_SLICE_DEPTH, STRATEGIES,
-                                make_executor)
+from repro.image.sliced import DEFAULT_SLICE_DEPTH, make_executor
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.utils.stats import StatsRecorder
@@ -38,6 +38,20 @@ METHODS = ("basic", "addition", "contraction", "hybrid")
 #: image orientations: forward computes ``T(S)``, backward the
 #: preimage ``T^dagger(S)`` (images of the adjoint system)
 DIRECTIONS = ("forward", "backward")
+
+
+def validate_direction(direction: str) -> str:
+    """The single point of direction validation.
+
+    Every layer that takes a ``direction`` — the engine, the backends,
+    ``reachable_space`` — funnels through this check, so the error
+    message is spelled once and callers simply propagate the
+    :class:`~repro.errors.ReproError`.
+    """
+    if direction not in DIRECTIONS:
+        raise ReproError(f"unknown direction {direction!r}; "
+                         f"choose from {DIRECTIONS}")
+    return direction
 
 
 def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
@@ -60,6 +74,34 @@ def make_computer(qts: QuantumTransitionSystem, method: str = "basic",
         return HybridImageComputer(qts, **params)
     raise ReproError(f"unknown image method {method!r}; "
                      f"choose from {METHODS}")
+
+
+@dataclass
+class ImageTask:
+    """One schedulable unit of image work.
+
+    The image operator distributes over operations (Proposition 1):
+    ``T(S) = v_sigma T_sigma(S)``, so one task carries the whole Kraus
+    family of one operation applied to one source subspace.  Drivers
+    (:mod:`repro.mc.drivers`) decide how the tasks of a fixpoint round
+    are scheduled and how their partial images recombine; running a
+    task routes every contraction through the engine's executor, so
+    sliced/pooled execution applies per task with no extra plumbing.
+    """
+
+    symbol: str
+    circuits: Sequence
+    source: Subspace
+    computer: ImageComputerBase
+
+    def run(self, stats: Optional[StatsRecorder] = None) -> ImageResult:
+        """The partial image ``T_sigma(source)`` with run stats."""
+        return self.computer.partial_image(self.source, self.circuits,
+                                           stats)
+
+    def __repr__(self) -> str:
+        return (f"ImageTask({self.symbol!r}, kraus={len(self.circuits)}, "
+                f"source_dim={self.source.dimension})")
 
 
 class ImageEngine:
@@ -108,12 +150,7 @@ class ImageEngine:
             slice_depth = config.slice_depth
             direction = config.direction
             params = dict(config.method_params)
-        if strategy not in STRATEGIES:
-            raise ReproError(f"unknown strategy {strategy!r}; "
-                             f"choose from {STRATEGIES}")
-        if direction not in DIRECTIONS:
-            raise ReproError(f"unknown direction {direction!r}; "
-                             f"choose from {DIRECTIONS}")
+        validate_direction(direction)
         self.qts = qts
         self.method = method
         self.strategy = strategy
@@ -130,6 +167,20 @@ class ImageEngine:
     @property
     def executor(self):
         return self.computer.executor
+
+    # ------------------------------------------------------------------
+    def image_tasks(self, source: Subspace) -> Iterator[ImageTask]:
+        """One :class:`ImageTask` per operation of the system.
+
+        In backward mode the tasks are built against the adjoint
+        operations, so running them computes per-operation *preimages*.
+        The join of all task results equals ``computer.image(source)``
+        (same dimension and mutual containment; the Gram-Schmidt basis
+        may differ with the combine order).
+        """
+        for op in self.system.operations:
+            yield ImageTask(symbol=op.symbol, circuits=op.kraus_circuits,
+                            source=source, computer=self.computer)
 
     # ------------------------------------------------------------------
     def compute_image(self, subspace: Optional[Subspace] = None,

@@ -100,21 +100,20 @@ class HybridImageComputer(ImageComputerBase):
         return self._slices[key]
 
     # ------------------------------------------------------------------
-    def _images_of_state(self, state: TDD,
-                         stats: StatsRecorder) -> Iterator[TDD]:
-        for circuit in self.qts.all_kraus_circuits():
-            all_parts, inputs, outputs = self.slices_for(circuit, stats)
-            total = None
-            for part_tdds in all_parts:
-                network = TensorNetwork([state] + part_tdds, set(outputs))
-                contribution = network.contract_all(
-                    observer=stats.observe_tdd,
-                    contract_fn=lambda a, b, s: self.executor.contract(
-                        a, b, s, stats))
-                stats.contractions += len(part_tdds)
-                total = (contribution if total is None
-                         else total + contribution)
-                stats.observe_tdd(total)
-            if len(all_parts) > 1:
-                stats.additions += len(all_parts) - 1
-            yield rename_outputs_to_kets(self.qts.space, total, outputs)
+    def _circuit_images(self, state: TDD, circuit: QuantumCircuit,
+                        stats: StatsRecorder) -> Iterator[TDD]:
+        all_parts, inputs, outputs = self.slices_for(circuit, stats)
+        total = None
+        for part_tdds in all_parts:
+            network = TensorNetwork([state] + part_tdds, set(outputs))
+            contribution = network.contract_all(
+                observer=stats.observe_tdd,
+                contract_fn=lambda a, b, s: self.executor.contract(
+                    a, b, s, stats))
+            stats.contractions += len(part_tdds)
+            total = (contribution if total is None
+                     else total + contribution)
+            stats.observe_tdd(total)
+        if len(all_parts) > 1:
+            stats.additions += len(all_parts) - 1
+        yield rename_outputs_to_kets(self.qts.space, total, outputs)

@@ -11,7 +11,11 @@ or dense statevector).  Reachability fixpoints, invariants and
 cross-validation ride on the same machinery.
 """
 
-from repro.mc.reachability import reachable_space, ReachabilityTrace
+from repro.mc.reachability import (ReachabilityCache, ReachabilityTrace,
+                                   reachable_space)
+from repro.mc.drivers import (DRIVERS, FixpointDriver, FrontierDriver,
+                              OpShardedDriver, SequentialDriver,
+                              make_driver, tree_join)
 from repro.mc.invariants import (is_invariant, image_equals, image_contained_in)
 from repro.mc.config import BACKENDS, CheckerConfig
 from repro.mc.backends import (Backend, CrossValidation,
@@ -26,7 +30,9 @@ from repro.mc.specs import parse_spec, resolve, to_text
 from repro.mc.witness import WitnessTrace, extract_witness_trace
 
 __all__ = [
-    "reachable_space", "ReachabilityTrace",
+    "reachable_space", "ReachabilityCache", "ReachabilityTrace",
+    "DRIVERS", "FixpointDriver", "SequentialDriver", "OpShardedDriver",
+    "FrontierDriver", "make_driver", "tree_join",
     "is_invariant", "image_equals", "image_contained_in",
     "Backend", "BACKENDS", "CheckerConfig", "CrossValidation",
     "DenseStatevectorBackend", "TDDBackend",

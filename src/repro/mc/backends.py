@@ -27,8 +27,9 @@ from typing import Optional, Protocol, Union
 
 from repro.errors import ConfigError, ReproError
 from repro.image.base import ImageResult
-from repro.image.engine import compute_image
+from repro.image.engine import compute_image, validate_direction
 from repro.mc.config import BACKENDS, CheckerConfig, _warn_legacy
+from repro.mc.drivers import DEFAULT_DRIVER, resolve_driver, tree_join
 from repro.mc.reachability import ReachabilityTrace, reachable_space
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
@@ -43,9 +44,12 @@ class Backend(Protocol):
     """One engine that can compute images and reachable spaces.
 
     ``direction``/``bound`` select forward or backward (preimage)
-    analysis and depth-limited fixpoints; ``None`` means "use the
-    engine's configured default" (forward / unbounded for engines
-    without a config).
+    analysis and depth-limited fixpoints, ``driver`` the fixpoint
+    schedule (:mod:`repro.mc.drivers`); ``None`` means "use the
+    engine's configured default" (forward / unbounded / sequential for
+    engines without a config).  ``warm_start`` seeds the fixpoint with
+    a subspace known to lie inside the true reachable space (see
+    :class:`~repro.mc.reachability.ReachabilityCache`).
     """
 
     name: str
@@ -61,7 +65,10 @@ class Backend(Protocol):
                   max_iterations: int = 0,
                   frontier: bool = False,
                   direction: Optional[str] = None,
-                  bound: Optional[int] = None) -> ReachabilityTrace:
+                  bound: Optional[int] = None,
+                  driver: Optional[str] = None,
+                  warm_start: Optional[Subspace] = None
+                  ) -> ReachabilityTrace:
         """The reachability fixpoint from ``initial`` (default ``S0``)."""
         ...
 
@@ -133,7 +140,10 @@ class TDDBackend:
                   max_iterations: int = 0,
                   frontier: bool = False,
                   direction: Optional[str] = None,
-                  bound: Optional[int] = None) -> ReachabilityTrace:
+                  bound: Optional[int] = None,
+                  driver: Optional[str] = None,
+                  warm_start: Optional[Subspace] = None
+                  ) -> ReachabilityTrace:
         cfg = self.config
         return reachable_space(
             qts, cfg.method, initial=initial,
@@ -142,6 +152,8 @@ class TDDBackend:
             jobs=cfg.jobs, slice_depth=cfg.slice_depth,
             direction=cfg.direction if direction is None else direction,
             bound=cfg.bound if bound is None else bound,
+            driver=cfg.driver if driver is None else driver,
+            warm_start=warm_start,
             **cfg.method_params)
 
     def __repr__(self) -> str:
@@ -160,8 +172,11 @@ class DenseStatevectorBackend:
 
     name = "dense"
 
-    def __init__(self, max_qubits: int = DENSE_MAX_QUBITS) -> None:
+    def __init__(self, max_qubits: int = DENSE_MAX_QUBITS,
+                 driver: str = DEFAULT_DRIVER) -> None:
         self.max_qubits = max_qubits
+        #: the fixpoint schedule used when a call passes driver=None
+        self.driver = driver
 
     # ------------------------------------------------------------------
     def _check_size(self, qts: QuantumTransitionSystem) -> None:
@@ -213,18 +228,28 @@ class DenseStatevectorBackend:
                   max_iterations: int = 0,
                   frontier: bool = False,
                   direction: Optional[str] = None,
-                  bound: Optional[int] = None) -> ReachabilityTrace:
-        # frontier iteration is a symbolic-cost optimisation; the dense
-        # fixpoint is cheap enough to always use the full space.
-        del frontier
+                  bound: Optional[int] = None,
+                  driver: Optional[str] = None,
+                  warm_start: Optional[Subspace] = None
+                  ) -> ReachabilityTrace:
         self._check_size(qts)
+        direction = validate_direction(direction or "forward")
+        driver_name = resolve_driver(
+            driver if driver is not None else self.driver, frontier)
         backward = direction == "backward"
         bound = bound or 0
         current = initial if initial is not None else qts.initial
         if current.dimension == 0:
             raise ReproError("reachability from the zero subspace is "
                              "trivial; set an initial space first")
-        kraus = self._kraus_matrices(qts)
+        if warm_start is not None:
+            current = current.join(warm_start)
+        # the full Kraus family plus its per-operation grouping: the
+        # opsharded schedule images each group separately and
+        # tree-reduces the partial spans (Proposition 1 makes the two
+        # equal; the SVD basis is recomputed either way)
+        per_op = [op.kraus_matrices() for op in qts.operations]
+        kraus = [matrix for group in per_op for matrix in group]
         dense = self._to_dense(current)
         trace = ReachabilityTrace(subspace=current,
                                   dimensions=[dense.dimension],
@@ -234,17 +259,37 @@ class DenseStatevectorBackend:
         trace.stats.extra["backend"] = self.name
         if backward:
             trace.stats.extra["direction"] = "backward"
+        if driver_name != "sequential":
+            trace.stats.extra["driver"] = driver_name
         limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
         if bound > 0:
             limit = min(limit, bound)
+
+        def image_of(source):
+            return (source.preimage(kraus) if backward
+                    else source.image(kraus))
+
+        from repro.sim.subspace_dense import DenseSubspace
         watch = Stopwatch().start()
+        frontier_dense = dense
         for _ in range(limit):
-            step = (dense.preimage(kraus) if backward
-                    else dense.image(kraus))
-            grown = dense.join(step)
+            if driver_name == "opsharded":
+                parts = [dense.preimage(group) if backward
+                         else dense.image(group) for group in per_op]
+                grown = tree_join([dense] + parts)
+            elif driver_name == "frontier":
+                grown = dense.join(image_of(frontier_dense))
+            else:
+                grown = dense.join(image_of(dense))
             trace.iterations += 1
             trace.dimensions.append(grown.dimension)
             converged = grown.dimension == dense.dimension
+            if driver_name == "frontier" and not converged:
+                # the new directions: residuals of the grown basis
+                # against the previous space (rank = the growth)
+                residual = grown.basis - dense.projector() @ grown.basis
+                frontier_dense = DenseSubspace.from_vectors(
+                    residual.T, grown.dim)
             dense = grown
             if converged:
                 break
@@ -285,7 +330,8 @@ def make_backend(config: Union[CheckerConfig, str] = "tdd",
         return TDDBackend(cfg)
     return DenseStatevectorBackend(
         max_qubits=cfg.max_qubits if cfg.max_qubits is not None
-        else DENSE_MAX_QUBITS)
+        else DENSE_MAX_QUBITS,
+        driver=cfg.driver)
 
 
 # ----------------------------------------------------------------------
@@ -358,7 +404,8 @@ def cross_validate(qts: QuantumTransitionSystem,
     dense_config = CheckerConfig(backend="dense",
                                  max_qubits=params.get("max_qubits"),
                                  direction=tdd_config.direction,
-                                 bound=tdd_config.bound)
+                                 bound=tdd_config.bound,
+                                 driver=tdd_config.driver)
 
     if spec is not None:
         symbolic = ModelChecker(qts, tdd_config).check(spec)

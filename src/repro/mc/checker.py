@@ -39,9 +39,8 @@ from repro.image.base import ImageResult
 from repro.mc.backends import CrossValidation, cross_validate, make_backend
 from repro.mc.config import CheckerConfig, coerce_config
 from repro.mc.invariants import invariant_holds
-from repro.mc.logic import (Always, Atomic, Eventually, Proposition,
-                            TemporalSpec)
-from repro.mc.reachability import ReachabilityTrace
+from repro.mc.logic import Always, Atomic, Proposition, TemporalSpec
+from repro.mc.reachability import ReachabilityCache, ReachabilityTrace
 from repro.mc.witness import WitnessTrace, extract_witness_trace
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
@@ -178,19 +177,26 @@ class ModelChecker:
     def reachable(self, max_iterations: int = 0,
                   frontier: bool = False,
                   direction: Optional[str] = None,
-                  bound: Optional[int] = None) -> ReachabilityTrace:
+                  bound: Optional[int] = None,
+                  driver: Optional[str] = None,
+                  warm_start: Optional[Subspace] = None
+                  ) -> ReachabilityTrace:
         """The reachable subspace from the initial space.
 
-        ``direction``/``bound`` default to the checker's config:
-        ``backward`` computes the space of states that can *reach*
-        ``S0`` (the preimage fixpoint), a positive ``bound`` stops
-        after that many image steps.
+        ``direction``/``bound``/``driver`` default to the checker's
+        config: ``backward`` computes the space of states that can
+        *reach* ``S0`` (the preimage fixpoint), a positive ``bound``
+        stops after that many image steps, and ``driver`` picks the
+        fixpoint schedule (:mod:`repro.mc.drivers`).  ``warm_start``
+        seeds the fixpoint with a subspace known to be reachable.
         """
         return self.backend.reachable(
             self.qts, max_iterations=max_iterations, frontier=frontier,
             direction=direction if direction is not None
             else self.config.direction,
-            bound=bound if bound is not None else self.config.bound)
+            bound=bound if bound is not None else self.config.bound,
+            driver=driver if driver is not None else self.config.driver,
+            warm_start=warm_start)
 
     def cross_validate(self, subspace: Optional[Subspace] = None,
                        tol: float = 1e-7, spec=None) -> CrossValidation:
@@ -215,7 +221,9 @@ class ModelChecker:
               tol: float = CHECK_EPS,
               direction: Optional[str] = None,
               bound: Optional[int] = None,
-              witness_trace: bool = True) -> CheckResult:
+              witness_trace: bool = True,
+              reach_cache: Optional[ReachabilityCache] = None
+              ) -> CheckResult:
         """Check a temporal specification; one verb, one result shape.
 
         ``spec`` is a spec string (``"AG inv"``, ``"EF[<=3] target"``,
@@ -251,6 +259,17 @@ class ModelChecker:
         shared subspace machinery — are backend-independent by
         construction.  ``witness_trace=False`` skips counterexample
         extraction.
+
+        ``reach_cache`` (a
+        :class:`~repro.mc.reachability.ReachabilityCache`) warm-starts
+        the reachability fixpoint behind an unbounded temporal check:
+        on an exact key hit — same transition relation, same fixpoint
+        seed, same direction — the cached reachable space seeds the
+        iteration, which then collapses to one confirming round; a
+        miss stores the converged result for later runs.  The sweep
+        runner uses this to share reachability across configurations
+        that differ only in image method or execution strategy; a hit
+        is recorded as ``stats.extra["cache_warm"]``.
         """
         from repro.mc.specs import parse_spec, resolve, to_text
         if isinstance(spec, str):
@@ -277,13 +296,11 @@ class ModelChecker:
             if direction == "backward":
                 trace, holds, witness = self._check_backward(
                     spec, target, start, max_iterations, frontier,
-                    effective_bound, tol)
+                    effective_bound, tol, reach_cache)
             else:
-                trace = self.backend.reachable(
-                    self.qts, initial=initial,
-                    max_iterations=max_iterations,
-                    frontier=frontier, direction="forward",
-                    bound=effective_bound)
+                trace = self._reachable_with_cache(
+                    start, initial, max_iterations, frontier,
+                    "forward", effective_bound, reach_cache)
                 reached = trace.subspace
                 if isinstance(spec, Always):
                     holds = target.contains(reached, tol)
@@ -324,9 +341,37 @@ class ModelChecker:
             dimensions=[start.dimension],
             witness=witness, direction=direction)
 
+    def _reachable_with_cache(self, seed: Subspace,
+                              initial: Optional[Subspace],
+                              max_iterations: int, frontier: bool,
+                              direction: str, bound: int,
+                              reach_cache) -> ReachabilityTrace:
+        """The fixpoint behind a temporal check, warm-started if possible.
+
+        ``seed`` is the subspace the fixpoint actually starts from
+        (``initial``-or-``S0`` forward, the event set backward) — the
+        cache key.  Only unbounded, untruncated fixpoints are cached:
+        a bounded reachable set is not closed, so seeding another
+        bounded run with it would overshoot.
+        """
+        cacheable = (reach_cache is not None and bound == 0
+                     and max_iterations == 0)
+        warm = (reach_cache.lookup(self.qts, seed, direction, 0)
+                if cacheable else None)
+        trace = self.backend.reachable(
+            self.qts, initial=initial, max_iterations=max_iterations,
+            frontier=frontier, direction=direction, bound=bound,
+            warm_start=warm)
+        if cacheable:
+            trace.stats.extra["cache_warm"] = warm is not None
+            if warm is None:
+                reach_cache.store(self.qts, seed, direction, 0, trace)
+        return trace
+
     def _check_backward(self, spec: TemporalSpec, target: Subspace,
                         start: Subspace, max_iterations: int,
-                        frontier: bool, bound: int, tol: float):
+                        frontier: bool, bound: int, tol: float,
+                        reach_cache=None):
         """Temporal verdict by backward (preimage) reachability.
 
         The event set is ``[[φ]]^perp`` for ``AG`` (a state escapes φ
@@ -346,9 +391,9 @@ class ModelChecker:
                                       direction="backward", bound=bound)
             trace.stats.extra["direction"] = "backward"
             return trace, isinstance(spec, Always), None
-        trace = self.backend.reachable(
-            self.qts, initial=event, max_iterations=max_iterations,
-            frontier=frontier, direction="backward", bound=bound)
+        trace = self._reachable_with_cache(
+            event, event, max_iterations, frontier, "backward", bound,
+            reach_cache)
         witness = _overlap_witness(trace.subspace, start, tol)
         overlaps = witness is not None
         holds = not overlaps if isinstance(spec, Always) else overlaps

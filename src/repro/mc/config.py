@@ -38,6 +38,7 @@ from typing import Mapping, Optional
 from repro.errors import ConfigError
 from repro.image.engine import DIRECTIONS, METHODS
 from repro.image.sliced import DEFAULT_SLICE_DEPTH, STRATEGIES
+from repro.mc.drivers import DEFAULT_DRIVER, DRIVERS
 
 #: the available computation engines (the dense statevector reference
 #: is exponential — small sizes only)
@@ -81,9 +82,11 @@ class CheckerConfig:
     execution strategy; ``max_qubits`` raises the dense backend's size
     guard.  ``direction`` selects forward (image) or backward
     (preimage, against the adjoint Kraus family) analysis and ``bound``
-    depth-limits reachability fixpoints (0 = run to saturation) — both
-    are honoured by *both* backends.  Every mismatch is rejected at
-    construction time.
+    depth-limits reachability fixpoints (0 = run to saturation);
+    ``driver`` picks the fixpoint schedule
+    (:mod:`repro.mc.drivers`: ``sequential`` / ``opsharded`` /
+    ``frontier``) — all three are honoured by *both* backends.  Every
+    mismatch is rejected at construction time.
     """
 
     backend: str = "tdd"
@@ -95,6 +98,7 @@ class CheckerConfig:
     max_qubits: Optional[int] = None
     direction: str = "forward"
     bound: int = 0
+    driver: str = DEFAULT_DRIVER
 
     def __post_init__(self) -> None:
         # freeze a private copy so a caller-held dict cannot mutate us
@@ -118,6 +122,9 @@ class CheckerConfig:
         if self.direction not in DIRECTIONS:
             raise ConfigError(f"unknown direction {self.direction!r}; "
                               f"choose from {DIRECTIONS}")
+        if self.driver not in DRIVERS:
+            raise ConfigError(f"unknown driver {self.driver!r}; "
+                              f"choose from {DRIVERS}")
         if not isinstance(self.bound, int) or self.bound < 0:
             raise ConfigError(f"bound must be a non-negative integer "
                               f"(0 = unbounded), got {self.bound!r}")
@@ -180,6 +187,7 @@ class CheckerConfig:
                     method_params: Optional[Mapping] = None,
                     direction: str = "forward",
                     bound: int = 0,
+                    driver: str = DEFAULT_DRIVER,
                     **params) -> "CheckerConfig":
         """The legacy keyword spelling, with the legacy tolerance.
 
@@ -196,10 +204,11 @@ class CheckerConfig:
             slice_depth = DEFAULT_SLICE_DEPTH
         if backend == "dense":
             return cls(backend="dense", max_qubits=max_qubits,
-                       direction=direction, bound=bound)
+                       direction=direction, bound=bound, driver=driver)
         return cls(backend=backend, method=method, strategy=strategy,
                    jobs=jobs, slice_depth=slice_depth,
-                   method_params=merged, direction=direction, bound=bound)
+                   method_params=merged, direction=direction, bound=bound,
+                   driver=driver)
 
     @classmethod
     def from_cli_args(cls, args) -> "CheckerConfig":
@@ -217,6 +226,7 @@ class CheckerConfig:
         slice_depth = getattr(args, "slice_depth", DEFAULT_SLICE_DEPTH)
         direction = getattr(args, "direction", "forward")
         bound = getattr(args, "bound", 0)
+        driver = getattr(args, "driver", DEFAULT_DRIVER)
         method_params = {}
         for name in sorted(METHOD_PARAMS[method]):
             if hasattr(args, name):
@@ -232,11 +242,11 @@ class CheckerConfig:
                        strategy=strategy, jobs=jobs,
                        slice_depth=slice_depth,
                        method_params=method_params,
-                       direction=direction, bound=bound)
+                       direction=direction, bound=bound, driver=driver)
         return cls(backend=backend, method=method, strategy=strategy,
                    jobs=jobs, slice_depth=slice_depth,
                    method_params=method_params,
-                   direction=direction, bound=bound)
+                   direction=direction, bound=bound, driver=driver)
 
     def replace(self, **changes) -> "CheckerConfig":
         """A copy with the given fields replaced (re-validated)."""
@@ -252,7 +262,8 @@ class CheckerConfig:
                 "slice_depth": self.slice_depth,
                 "method_params": dict(self.method_params),
                 "max_qubits": self.max_qubits,
-                "direction": self.direction, "bound": self.bound}
+                "direction": self.direction, "bound": self.bound,
+                "driver": self.driver}
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CheckerConfig":
@@ -282,6 +293,8 @@ class CheckerConfig:
             parts.append(f"direction={self.direction}")
         if self.bound:
             parts.append(f"bound={self.bound}")
+        if self.driver != DEFAULT_DRIVER:
+            parts.append(f"driver={self.driver}")
         if self.backend == "tdd":
             parts.append(f"method={self.method}")
             if self.strategy != "monolithic":

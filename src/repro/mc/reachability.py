@@ -6,18 +6,35 @@ and closed under every operation:  ``R = lub_k S_k`` with
 ``2^n``, so the iteration terminates as soon as the dimension stops
 growing — the standard symbolic-model-checking fixpoint with joins in
 place of unions (paper, Sections I and III).
+
+:func:`reachable_space` is a thin façade: it builds the
+:class:`~repro.image.engine.ImageEngine`, picks a fixpoint *driver*
+(:mod:`repro.mc.drivers` — ``sequential`` / ``opsharded`` /
+``frontier``) and delegates the loop, keeping only the bookkeeping
+(trace, stopwatch, GC baseline, engine teardown) here.
+:class:`ReachabilityCache` lets batch runners warm-start a fixpoint
+from a previously computed reachable space when only the image method
+or execution strategy changed — the reachable subspace itself is
+method-independent.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import weakref
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.errors import ReproError
 from repro.image.engine import ImageEngine
 from repro.image.sliced import DEFAULT_SLICE_DEPTH
+from repro.mc.drivers import make_driver, resolve_driver
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
+from repro.tdd.io import from_dict, to_dict
 from repro.utils.stats import StatsRecorder
 from repro.utils.timing import Stopwatch
 
@@ -38,6 +55,18 @@ class ReachabilityTrace:
     def dimension(self) -> int:
         return self.subspace.dimension
 
+    @property
+    def dimensions_delta(self) -> List[int]:
+        """Per-round dimension growth (one entry per iteration)."""
+        return [b - a for a, b in zip(self.dimensions,
+                                      self.dimensions[1:])]
+
+    def __repr__(self) -> str:
+        return (f"ReachabilityTrace(dim={self.dimension}, "
+                f"iterations={self.iterations}, "
+                f"converged={self.converged}, "
+                f"direction={self.direction!r})")
+
 
 def reachable_space(qts: QuantumTransitionSystem,
                     method: str = "contraction",
@@ -50,6 +79,8 @@ def reachable_space(qts: QuantumTransitionSystem,
                     slice_depth: int = DEFAULT_SLICE_DEPTH,
                     direction: str = "forward",
                     bound: int = 0,
+                    driver: Optional[str] = None,
+                    warm_start: Optional[Subspace] = None,
                     **params) -> ReachabilityTrace:
     """Compute the reachable subspace of ``qts``.
 
@@ -61,25 +92,35 @@ def reachable_space(qts: QuantumTransitionSystem,
     :mod:`repro.image.sliced`; ``jobs`` sets the pool width,
     ``slice_depth`` the number of top summed levels to fix).
 
+    ``driver`` selects the fixpoint schedule (see
+    :mod:`repro.mc.drivers`): ``sequential`` (the default; one
+    monolithic ``T(S_k)`` per round, bit-for-bit the pre-driver
+    behaviour), ``opsharded`` (per-operation image tasks tree-reduced
+    with joins) or ``frontier``.  The legacy ``frontier=True`` flag is
+    shorthand for ``driver="frontier"``.
+
     ``direction="backward"`` runs the same fixpoint against the
     *adjoint* transition relation (cached Kraus-dagger operator TDDs,
     see :meth:`~repro.systems.qts.QuantumTransitionSystem.adjoint`):
     the result is the space of states that can *reach* ``initial``,
     the standard symbolic-model-checking complement of forward
-    reachability.  All four methods and both execution strategies
-    apply unchanged.
+    reachability.  All four methods, both execution strategies and all
+    three drivers apply unchanged.  Direction validation happens once,
+    in the :class:`~repro.image.engine.ImageEngine`; an unknown
+    direction propagates from there as a :class:`ReproError`.
 
     ``bound`` is the depth limit of bounded analysis: a positive value
     stops after at most ``bound`` image steps (so the result is the
     space reachable within ``bound`` transitions) and takes precedence
     over ``max_iterations``.
 
-    ``frontier=True`` switches to frontier-set iteration, the classic
-    symbolic-model-checking refinement: each round only computes the
-    image of the basis vectors *added in the previous round* instead
-    of the whole accumulated subspace.  Correct because the image
-    operator distributes over joins (Proposition 1), and cheaper when
-    the reachable space grows slowly relative to its size.
+    ``warm_start`` seeds the fixpoint with an extra subspace joined
+    onto ``initial`` before the first round.  Seeding with a
+    previously computed reachable space of the *same* fixpoint (see
+    :class:`ReachabilityCache`) collapses the iteration ladder to a
+    single confirming round; soundness requires the seed to lie inside
+    the true reachable space, which the cache's exact keying
+    guarantees.
 
     ``gc=True`` (the default) runs the manager's mark-and-sweep between
     iterations: the accumulated subspace, the frontier and the
@@ -89,15 +130,18 @@ def reachable_space(qts: QuantumTransitionSystem,
     long fixpoints.  The trace stats report the cache hit/miss deltas
     and GC activity of the whole run.
     """
+    driver_name = resolve_driver(driver, frontier)
+    fixpoint = make_driver(driver_name)
     engine = ImageEngine(qts, method, strategy=strategy, jobs=jobs,
                          slice_depth=slice_depth, direction=direction,
                          **params)
-    computer = engine.computer
     current = initial if initial is not None else qts.initial
     if current.dimension == 0:
         engine.close()
         raise ReproError("reachability from the zero subspace is trivial; "
                          "set an initial space first")
+    if warm_start is not None:
+        current = current.join(warm_start)
     trace = ReachabilityTrace(subspace=current,
                               dimensions=[current.dimension],
                               direction=direction, bound=bound)
@@ -105,35 +149,16 @@ def reachable_space(qts: QuantumTransitionSystem,
         trace.stats.extra["strategy"] = strategy
     if direction != "forward":
         trace.stats.extra["direction"] = direction
+    if driver_name != "sequential":
+        trace.stats.extra["driver"] = driver_name
     limit = max_iterations if max_iterations > 0 else 2 ** qts.num_qubits
     if bound > 0:
         limit = min(limit, bound)
     manager = qts.manager
     baseline = manager.cache_counters()
     watch = Stopwatch().start()
-    frontier_space = current
     try:
-        for _ in range(limit):
-            source = frontier_space if frontier else current
-            step = computer.image(source, trace.stats)
-            grown = current.join(step.subspace)
-            trace.iterations += 1
-            trace.dimensions.append(grown.dimension)
-            if grown.dimension == current.dimension:
-                trace.subspace = grown
-                break
-            if frontier:
-                # the new frontier: basis vectors Gram-Schmidt added beyond
-                # the previous space (they are orthogonal to it by
-                # construction of Subspace.join)
-                new_vectors = grown.basis[current.dimension:]
-                frontier_space = qts.space.span(new_vectors)
-            current = grown
-            trace.subspace = grown
-            if gc:
-                manager.collect()
-        else:
-            trace.converged = False
+        fixpoint.run(engine, trace, limit, gc=gc)
     finally:
         # stop the clock before releasing the engine: the sliced
         # strategy's pool shutdown (ProcessPoolExecutor.shutdown with
@@ -145,3 +170,107 @@ def reachable_space(qts: QuantumTransitionSystem,
         manager.collect()
     trace.stats.record_manager(manager, baseline)
     return trace
+
+
+# ----------------------------------------------------------------------
+# warm-start cache
+# ----------------------------------------------------------------------
+#: per-system memo: the operation list is fixed at construction, so
+#: the hash over every gate matrix only ever needs computing once
+_SYSTEM_FINGERPRINTS: "weakref.WeakKeyDictionary" = \
+    weakref.WeakKeyDictionary()
+
+
+def system_fingerprint(qts: QuantumTransitionSystem) -> str:
+    """A content hash of the transition relation.
+
+    Two QTS instances with the same qubit count and the same operation
+    list (symbols, Kraus circuit gate sequences, gate matrices) have
+    the same fingerprint even when they live in different managers —
+    the property the :class:`ReachabilityCache` keys on.  Memoised per
+    instance (a cache lookup-then-store pair must not hash every gate
+    matrix twice); the memo is safe because a QTS's operations are
+    immutable after construction.
+    """
+    cached = _SYSTEM_FINGERPRINTS.get(qts)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(str(qts.num_qubits).encode())
+    for op in qts.operations:
+        digest.update(op.symbol.encode())
+        for circuit in op.kraus_circuits:
+            for gate in circuit.gates:
+                digest.update(gate.name.encode())
+                digest.update(repr((gate.targets, gate.controls,
+                                    gate.control_states)).encode())
+                digest.update(np.ascontiguousarray(gate.matrix).tobytes())
+    fingerprint = digest.hexdigest()
+    _SYSTEM_FINGERPRINTS[qts] = fingerprint
+    return fingerprint
+
+
+def subspace_fingerprint(subspace: Subspace) -> str:
+    """A content hash of a subspace's orthonormal basis."""
+    payload = [to_dict(vector) for vector in subspace.basis]
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ReachabilityCache:
+    """Reachable subspaces keyed by what actually determines them.
+
+    The fixpoint result depends on the transition relation, the
+    initial subspace, the analysis direction and the depth bound — not
+    on the image method, the execution strategy or the driver.  The
+    cache stores basis vectors through the :mod:`repro.tdd.io` dict
+    codec, so an entry computed in one manager warm-starts a run whose
+    QTS was rebuilt from scratch (the batch-sweep shape: every run
+    constructs its own system).
+
+    Entries are only stored for *converged* unbounded runs and served
+    only on an exact key match; a warm hit is a subspace that the
+    caller joins into the fixpoint seed (see
+    :func:`reachable_space`), so a cold cache is merely slow, never
+    wrong.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[tuple, List[dict]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(qts: QuantumTransitionSystem, initial: Subspace,
+            direction: str, bound: int) -> tuple:
+        return (system_fingerprint(qts), subspace_fingerprint(initial),
+                direction, bound)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, qts: QuantumTransitionSystem, initial: Subspace,
+               direction: str = "forward",
+               bound: int = 0) -> Optional[Subspace]:
+        """The cached reachable space, re-interned into ``qts``'s manager."""
+        payloads = self._entries.get(self.key(qts, initial, direction,
+                                              bound))
+        if payloads is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        vectors = [from_dict(qts.manager, data) for data in payloads]
+        return qts.space.span(vectors)
+
+    def store(self, qts: QuantumTransitionSystem, initial: Subspace,
+              direction: str, bound: int, trace: ReachabilityTrace) -> None:
+        """Record a finished fixpoint (converged, unbounded runs only)."""
+        if not trace.converged or bound != 0:
+            return
+        self._entries[self.key(qts, initial, direction, bound)] = \
+            [to_dict(vector) for vector in trace.subspace.basis]
+
+    def __repr__(self) -> str:
+        return (f"ReachabilityCache(entries={len(self._entries)}, "
+                f"hits={self.hits}, misses={self.misses})")

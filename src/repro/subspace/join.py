@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable
 
 from repro.config import GS_EPS
 from repro.subspace.subspace import StateSpace, Subspace

@@ -12,7 +12,6 @@ rounds.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.config import GS_EPS
 from repro.errors import SubspaceError

@@ -15,13 +15,13 @@ number of *kept* qubits only — the traced register can be wide).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import SubspaceError
 from repro.sim.subspace_dense import DenseSubspace
-from repro.subspace.subspace import StateSpace, Subspace
+from repro.subspace.subspace import Subspace
 from repro.tdd.tdd import TDD
 
 

@@ -133,7 +133,6 @@ class Subspace:
             return None
         vector = residual.scaled(1.0 / norm)
         self.basis.append(vector)
-        bra = self.space.to_bra(vector)
         self.projector = self.projector + vector.rename(
             dict(zip(self.space.kets, self.space.bras))).product(
                 vector.conj())

@@ -9,7 +9,7 @@ gates, and noise channels carry scaled Kraus gates.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -51,7 +51,6 @@ class QuantumOperation:
     def is_trace_nonincreasing(self, tol: float = 1e-7) -> bool:
         """Check ``sum_j E_j^dagger E_j <= I`` (valid quantum operation)."""
         matrices = self.kraus_matrices()
-        dim = matrices[0].shape[0]
         total = sum(e.conj().T @ e for e in matrices)
         values = np.linalg.eigvalsh(total)
         return bool(values.max() <= 1.0 + tol)

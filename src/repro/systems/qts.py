@@ -11,11 +11,10 @@ canonical order.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import SystemError_
 from repro.indices.index import Index
-from repro.indices.order import IndexOrder
 from repro.subspace.subspace import StateSpace, Subspace
 from repro.systems.operations import QuantumOperation
 from repro.tdd.manager import TDDManager

@@ -14,7 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
-from repro.tdd.node import Edge, Node
+from repro.tdd.node import Node
 from repro.tdd.tdd import TDD
 
 

@@ -15,7 +15,7 @@ entries whose ids are all still live.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional
 
 
 class OperationCache:

@@ -13,7 +13,7 @@ the circuit layer needs *without* ever materialising a dense tensor:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.errors import TDDError
 from repro.indices.index import Index
-from repro.tdd import weights as wt
 from repro.tdd.apply import unary_apply
 from repro.tdd.arithmetic import (add_edges, conjugate_edge, negate_edge,
                                   scale_edge)

@@ -11,7 +11,7 @@ paper Fig. 5).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.indices.index import Index
 

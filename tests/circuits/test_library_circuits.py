@@ -151,7 +151,7 @@ class TestBitflip:
     @pytest.mark.parametrize("error_qubit", [None, 0, 1, 2])
     def test_corrects_single_flips(self, error_qubit):
         from repro.sim.density import (apply_kraus, channel_matrices,
-                                       density_from_states, support_basis)
+                                       support_basis)
         kraus = channel_matrices(lib.bitflip_kraus_circuits())
         a, b = 0.6, 0.8
         code = (a * basis_state_vector(6, [0] * 6).reshape(-1)

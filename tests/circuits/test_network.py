@@ -5,8 +5,8 @@ import pytest
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import random_circuit
-from repro.circuits.network import (circuit_to_dense, circuit_to_dense_network,
-                                    circuit_to_tdd, circuit_to_tdd_network)
+from repro.circuits.network import (circuit_to_dense, circuit_to_tdd,
+                                    circuit_to_tdd_network)
 from repro.sim.statevector import basis_state_from_int, circuit_unitary
 from repro.tdd import construction as tc
 from repro.tdd.manager import TDDManager

@@ -1,6 +1,5 @@
 """The Gate value type: wiring, operator matrices, TDD vs dense."""
 
-import itertools
 
 import numpy as np
 import pytest

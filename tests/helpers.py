@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -12,7 +12,6 @@ from repro.sim.subspace_dense import DenseSubspace
 from repro.subspace.subspace import StateSpace, Subspace
 from repro.systems.qts import QuantumTransitionSystem
 from repro.tdd.manager import TDDManager
-from repro.tdd import construction as tc
 
 
 def fresh_manager(index_names: Sequence[str] = ()) -> TDDManager:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import (bitflip_syndrome_circuit, ghz_circuit,
-                                    grover_iteration, qft_circuit)
+                                    grover_iteration)
 from repro.errors import PartitionError
 from repro.image.partition import (Block, num_bands, partition_circuit,
                                    partition_summary)

@@ -1,6 +1,5 @@
 """Reachability across the model families, cross-method."""
 
-import numpy as np
 import pytest
 
 from repro.mc.reachability import reachable_space

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.errors import SpecError
-from repro.mc.checker import CheckResult, ModelChecker
+from repro.mc.checker import ModelChecker
 from repro.mc.config import CheckerConfig
-from repro.mc.logic import Always, Atomic, Eventually
+from repro.mc.logic import Always, Atomic
 from repro.mc.specs import parse_spec
 from repro.systems import models
 

@@ -2,6 +2,9 @@
 
 import pytest
 
+from repro.mc.backends import DenseStatevectorBackend
+from repro.mc.checker import ModelChecker
+from repro.mc.config import CheckerConfig
 from repro.mc.reachability import reachable_space
 from repro.systems import models
 
@@ -25,7 +28,6 @@ class TestFrontier:
     def test_frontier_images_fewer_states(self):
         """In frontier mode the total contraction count across the run
         must be strictly lower once the space has grown."""
-        from repro.utils.stats import StatsRecorder
         full = reachable_space(models.qrw_qts(3, 0.2), method="basic")
         fast = reachable_space(models.qrw_qts(3, 0.2), method="basic",
                                frontier=True)
@@ -39,6 +41,66 @@ class TestFrontier:
                                frontier=True)
         assert subspace_to_dense(full.subspace).equals(
             subspace_to_dense(fast.subspace))
+
+
+class TestFrontierBackwardBounded:
+    """Frontier mode combined with backward analysis and bound > 0.
+
+    Each feature was previously only tested independently; these pin
+    down the combination on both backends.
+    """
+
+    def _tdd(self, frontier, bound):
+        qts = models.qrw_qts(3, 0.2)
+        return reachable_space(qts, method="basic",
+                               initial=qts.named_subspace("start"),
+                               direction="backward", bound=bound,
+                               frontier=frontier)
+
+    def _dense(self, frontier, bound):
+        qts = models.qrw_qts(3, 0.2)
+        return DenseStatevectorBackend().reachable(
+            qts, initial=qts.named_subspace("start"),
+            direction="backward", bound=bound, frontier=frontier)
+
+    @pytest.mark.parametrize("bound", [1, 2, 3])
+    def test_tdd_frontier_backward_bounded_matches_full(self, bound):
+        full = self._tdd(frontier=False, bound=bound)
+        fast = self._tdd(frontier=True, bound=bound)
+        assert fast.dimensions == full.dimensions
+        assert fast.bound == bound
+        assert fast.iterations <= bound
+        assert subspace_to_dense(fast.subspace).equals(
+            subspace_to_dense(full.subspace))
+
+    @pytest.mark.parametrize("bound", [1, 2, 3])
+    def test_dense_frontier_backward_bounded_matches_tdd(self, bound):
+        symbolic = self._tdd(frontier=True, bound=bound)
+        dense = self._dense(frontier=True, bound=bound)
+        assert dense.dimensions == symbolic.dimensions
+        assert dense.converged == symbolic.converged
+        assert subspace_to_dense(dense.subspace).equals(
+            subspace_to_dense(symbolic.subspace))
+
+    def test_both_backends_frontier_backward_unbounded(self):
+        symbolic = self._tdd(frontier=True, bound=0)
+        dense = self._dense(frontier=True, bound=0)
+        assert symbolic.converged and dense.converged
+        assert dense.dimensions == symbolic.dimensions
+        assert subspace_to_dense(dense.subspace).equals(
+            subspace_to_dense(symbolic.subspace))
+
+    @pytest.mark.parametrize("backend_config", [
+        CheckerConfig(method="basic", direction="backward", bound=2),
+        CheckerConfig(backend="dense", direction="backward", bound=2),
+    ])
+    def test_check_frontier_backward_bounded_verdicts_agree(
+            self, backend_config):
+        result = ModelChecker(models.grover_qts(3), backend_config).check(
+            "AG plus", frontier=True)
+        assert result.verdict == "violated"
+        assert result.direction == "backward"
+        assert result.bound == 2
 
 
 class TestCombinators:

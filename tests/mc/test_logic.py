@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mc.logic import (Atomic, Join, Meet, Not, check_always,
+from repro.mc.logic import (Atomic, check_always,
                             check_eventually_overlaps, satisfies)
 from repro.systems import models
 

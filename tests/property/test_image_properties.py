@@ -6,7 +6,6 @@ operator is linear over joins (Proposition 1 of the paper).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,8 +14,8 @@ from repro.image.engine import compute_image
 from repro.systems.operations import QuantumOperation
 from repro.systems.qts import QuantumTransitionSystem
 
-from tests.helpers import (assert_subspace_matches_dense, dense_image_oracle,
-                           subspace_to_dense)
+from tests.helpers import (assert_subspace_matches_dense,
+                           dense_image_oracle)
 
 N_QUBITS = 3
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SubspaceError
 
-from tests.helpers import make_space, subspace_to_dense
+from tests.helpers import make_space
 
 
 class TestComplement:

@@ -7,7 +7,7 @@ from repro.errors import SubspaceError
 from repro.subspace.reduce import (reduced_density, reduced_density_matrix,
                                    reduced_support)
 
-from tests.helpers import PLUS, make_space, subspace_to_dense
+from tests.helpers import make_space, subspace_to_dense
 
 
 class TestReducedDensity:

@@ -6,8 +6,7 @@ import pytest
 from repro.errors import SubspaceError
 from repro.sim.subspace_dense import DenseSubspace
 
-from tests.helpers import (MINUS, ONE, PLUS, ZERO, make_space,
-                           subspace_to_dense)
+from tests.helpers import MINUS, ONE, PLUS, ZERO, make_space
 
 
 class TestSpan:

@@ -8,12 +8,10 @@ resurrect a stale memo.
 """
 
 import numpy as np
-import pytest
 
 from repro.indices.index import Index
 from repro.systems import models
 from repro.tdd import construction as tc
-from repro.tdd.manager import TDDManager
 
 from tests.helpers import fresh_manager, random_tensor
 

@@ -3,7 +3,6 @@
 import json
 
 import numpy as np
-import pytest
 
 from repro.indices.index import Index
 from repro.tdd import construction as tc

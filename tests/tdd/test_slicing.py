@@ -6,7 +6,7 @@ import pytest
 from repro.errors import TDDError
 from repro.indices.index import Index
 from repro.tdd import construction as tc
-from repro.tdd.slicing import first_nonzero_assignment, slice_edge
+from repro.tdd.slicing import first_nonzero_assignment
 
 from tests.helpers import fresh_manager, random_tensor
 

@@ -6,8 +6,6 @@ import pytest
 from repro.errors import TDDError
 from repro.indices.index import Index
 from repro.tdd import construction as tc
-from repro.tdd.manager import TDDManager
-from repro.indices.order import IndexOrder
 
 from tests.helpers import fresh_manager, random_tensor
 

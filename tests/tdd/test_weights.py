@@ -1,7 +1,5 @@
 """Unit tests for weight canonicalisation."""
 
-import pytest
-
 from repro.config import WEIGHT_EPS
 from repro.tdd import weights as wt
 

@@ -1,7 +1,5 @@
 """Contraction-order heuristics."""
 
-import numpy as np
-
 from repro.indices.index import Index
 from repro.tensor.dense import DenseTensor
 from repro.tensor.network import TensorNetwork

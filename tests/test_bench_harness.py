@@ -1,7 +1,5 @@
 """Unit tests for the Table I / Table II harness plumbing."""
 
-import pytest
-
 from repro.bench.runner import BenchRow, run_image_benchmark
 from repro.bench.table1 import (FAMILIES, TABLE1_METHODS, format_rows,
                                 table1_rows)

@@ -359,6 +359,110 @@ class TestRunSweep:
         assert rows[1]["witness_dimension"] != "0"
 
 
+class TestDriverAxisAndWarmStart:
+    def test_csv_columns_stable(self):
+        # the artifact schema is a compatibility contract: downstream
+        # dashboards parse these columns by name and position
+        assert CSV_COLUMNS == (
+            "run_id", "label", "model", "size", "method", "backend",
+            "strategy", "jobs", "slice_depth", "driver", "direction",
+            "bound", "spec", "verdict", "witness_dimension",
+            "trace_length", "trace_valid", "iterations", "converged",
+            "cache_warm", "dimension", "seconds", "max_nodes",
+            "contractions", "additions", "cache_hits", "cache_misses",
+            "cache_hit_rate", "cache_evictions", "slices",
+            "parallel_tasks", "pool_fallbacks", "gc_runs",
+            "nodes_reclaimed", "peak_live_nodes", "live_nodes",
+            "failed", "error",
+        )
+
+    def test_driver_axis_crosses_check_rows(self):
+        spec = SweepSpec.from_axes(
+            "d", ["grover"], [3], methods=("basic",),
+            drivers=("sequential", "opsharded", "frontier"),
+            specs=("AG inv",))
+        assert len(spec.runs) == 3
+        assert {run.driver for run in spec.runs} == \
+            {"sequential", "opsharded", "frontier"}
+        assert any("driver=opsharded" in run.run_id for run in spec.runs)
+
+    def test_default_driver_keeps_run_id_format(self):
+        # legacy artifacts must still resume
+        run = RunSpec(model="ghz", size=4,
+                      config=CheckerConfig(method="basic"))
+        assert run.run_id == "ghz4/basic/tdd/monolithic"
+
+    def test_drivers_collapse_for_image_rows(self):
+        # a plain image benchmark runs no fixpoint: the driver axis
+        # would only duplicate the measurement
+        spec = SweepSpec.from_axes(
+            "d", ["ghz"], [3], methods=("basic",),
+            drivers=("sequential", "opsharded", "frontier"))
+        assert len(spec.runs) == 1
+        assert spec.runs[0].driver == "sequential"
+
+    def test_execute_run_records_driver_and_cache_columns(self):
+        record = execute_run(RunSpec(
+            model="grover", size=3,
+            config=CheckerConfig(method="basic", driver="opsharded"),
+            spec="AG inv"))
+        assert record["driver"] == "opsharded"
+        assert record["cache_warm"] is False
+        assert record["verdict"] == "holds"
+
+    def test_image_record_driver_defaults(self):
+        record = execute_run(RunSpec(model="ghz", size=3,
+                                     config=CheckerConfig(method="basic")))
+        assert record["driver"] == "sequential"
+        assert record["cache_warm"] is False
+
+    def test_sweep_warm_starts_config_cells(self, tmp_path):
+        # the acceptance scenario: two configurations differing only in
+        # the image method share one reachability fixpoint — the second
+        # row is warm-started with an unchanged reachable dimension
+        spec = SweepSpec.from_axes(
+            "warm", ["grover"], [3],
+            methods=("basic", "contraction"), specs=("AG inv",),
+            method_params={"contraction": {"k1": 2, "k2": 2}})
+        result = run_sweep(spec, out_dir=str(tmp_path))
+        assert [r["cache_warm"] for r in result.records] == [False, True]
+        assert [r["verdict"] for r in result.records] == \
+            ["holds", "holds"]
+        assert len({r["dimension"] for r in result.records}) == 1
+        with open(tmp_path / "warm.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["cache_warm"] for row in rows] == ["False", "True"]
+        assert [row["driver"] for row in rows] == \
+            ["sequential", "sequential"]
+
+    def test_no_warm_start_keeps_rows_cold(self, tmp_path):
+        # benchmarking sweeps must be able to opt out: every row then
+        # pays its own full iteration ladder
+        spec = SweepSpec.from_axes(
+            "cold", ["grover"], [3],
+            methods=("basic", "contraction"), specs=("AG inv",),
+            method_params={"contraction": {"k1": 2, "k2": 2}})
+        result = run_sweep(spec, out_dir=str(tmp_path), warm_start=False)
+        assert [r["cache_warm"] for r in result.records] == [False, False]
+
+    def test_warm_rows_keyed_per_direction(self, tmp_path):
+        # backward rows must not reuse the forward fixpoint (different
+        # seed and transition relation): each direction warms only its
+        # own repeats
+        spec = SweepSpec.from_axes(
+            "dirs", ["grover"], [3],
+            methods=("basic", "contraction"), specs=("AG plus",),
+            directions=("forward", "backward"),
+            method_params={"contraction": {"k1": 2, "k2": 2}})
+        result = run_sweep(spec, out_dir=str(tmp_path))
+        by_direction = {}
+        for record in result.records:
+            by_direction.setdefault(record["direction"], []).append(
+                record["cache_warm"])
+        assert by_direction["forward"] == [False, True]
+        assert by_direction["backward"] == [False, True]
+
+
 class TestBenchRowAdapter:
     def test_from_record(self):
         record = execute_run(RunSpec(model="ghz", size=3, method="basic",

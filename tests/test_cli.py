@@ -65,6 +65,22 @@ class TestCheck:
         assert main(["check", "grover", "--size", "3",
                      "--spec", "AG inv", "--strategy", "sliced"]) == 0
 
+    def test_all_drivers_agree(self, capsys):
+        for driver in ("sequential", "opsharded", "frontier"):
+            assert main(["check", "grover", "--size", "3",
+                         "--spec", "AG inv", "--driver", driver]) == 0
+        out = capsys.readouterr().out
+        assert "driver=opsharded" in out   # non-default drivers echoed
+
+    def test_driver_on_dense_backend(self, capsys):
+        assert main(["check", "grover", "--size", "3", "--spec", "AG inv",
+                     "--backend", "dense", "--driver", "opsharded"]) == 0
+
+    def test_frontier_flag_with_conflicting_driver_errors(self, capsys):
+        assert main(["reach", "qrw", "--size", "3", "--frontier",
+                     "--driver", "opsharded"]) == 2
+        assert "frontier" in capsys.readouterr().err
+
     def test_unknown_atom_reports_available(self, capsys):
         assert main(["check", "grover", "--size", "3",
                      "--spec", "AG nonsense"]) == 2
@@ -186,8 +202,9 @@ class TestStrategyFlags:
         sliced_out = capsys.readouterr().out
         assert main(["reach", "qrw", "--size", "3"]) == 0
         mono_out = capsys.readouterr().out
-        dims = lambda text: [line for line in text.splitlines()
-                             if line.startswith("dimensions")]
+        def dims(text):
+            return [line for line in text.splitlines()
+                    if line.startswith("dimensions")]
         assert dims(sliced_out) == dims(mono_out)
 
     def test_slice_depth_flag(self, capsys):

@@ -63,7 +63,15 @@ class TestCliReferenceInSync:
     def test_check_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["check", "--help"])
         for flag in ("--spec", "--max-iterations", "--backend",
-                     "--strategy", "--direction", "--bound"):
+                     "--strategy", "--direction", "--bound", "--driver"):
+            assert flag in text
+            assert flag.lstrip("-").replace("-", "") in \
+                readme.replace("-", ""), \
+                f"flag {flag} missing from README"
+
+    def test_reach_flags_documented(self, capsys, readme):
+        text = help_text(capsys, ["reach", "--help"])
+        for flag in ("--frontier", "--direction", "--bound", "--driver"):
             assert flag in text
             assert flag.lstrip("-").replace("-", "") in \
                 readme.replace("-", ""), \
@@ -73,13 +81,14 @@ class TestCliReferenceInSync:
         text = help_text(capsys, ["sweep", "--help"])
         for flag in ("--spec", "--models", "--sizes", "--methods",
                      "--backends", "--strategies", "--directions",
-                     "--bounds", "--check", "--jobs",
-                     "--out", "--no-resume"):
+                     "--bounds", "--drivers", "--check", "--jobs",
+                     "--out", "--no-resume", "--no-warm-start"):
             assert flag in text
             assert flag in readme, f"flag {flag} missing from README"
 
     def test_choices_documented(self, readme):
         from repro.image.engine import DIRECTIONS
+        from repro.mc.drivers import DRIVERS
         for method in METHODS:
             assert method in readme
         for strategy in STRATEGIES:
@@ -88,6 +97,8 @@ class TestCliReferenceInSync:
             assert backend in readme
         for direction in DIRECTIONS:
             assert direction in readme
+        for driver in DRIVERS:
+            assert driver in readme
 
     def test_models_documented(self, readme):
         # every CLI-selectable model appears in the README
