@@ -1,0 +1,161 @@
+"""Perf-trajectory snapshots: scalar vs batched kernel, per PR.
+
+``BENCH_PR6.json`` (committed at the repo root) records, for the
+smoke-sized multi-Kraus Table-1 families, the wall-clock *median* over
+repeated image computations under the scalar per-branch loop and under
+the batched weight kernel, plus the (deterministic) top-level
+contraction counts.  The snapshot is the baseline the CI
+``bench-compare`` step guards: a change that erodes the batched path's
+advantage fails the build.
+
+Absolute seconds are machine-specific, so the comparison is over
+*portable* quantities only:
+
+* the batched contraction count must not exceed the committed one
+  (exactly reproducible — a regression here means the batched kernel
+  stopped covering a family in one invocation);
+* the measured speedup ``scalar_median / batched_median`` must stay
+  within ``tolerance`` (default 20%) of the committed speedup — both
+  runs of the ratio execute on the *same* machine, so the ratio
+  travels between hosts even though the medians do not.
+
+Run:  ``python -m repro.bench.trajectory --write BENCH_PR6.json``
+      ``python -m repro.bench.trajectory --compare BENCH_PR6.json``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.image.engine import compute_image
+from repro.systems import models
+
+#: smoke-sized Table-1 families where batching has work to do (every
+#: one is multi-Kraus; unitary families take the scalar path anyway)
+FAMILIES: Dict[str, Callable] = {
+    "bitflip": lambda: models.bitflip_qts(),
+    "qrw4": lambda: models.qrw_qts(4, 0.1, steps=2),
+    "qrw5": lambda: models.qrw_qts(5, 0.1, steps=2),
+}
+
+DEFAULT_REPEATS = 5
+DEFAULT_TOLERANCE = 0.20
+
+
+def measure_family(builder: Callable, repeats: int = DEFAULT_REPEATS,
+                   method: str = "basic") -> dict:
+    """Median wall clock + contraction count, scalar and batched.
+
+    Every repeat builds a fresh QTS (construction time included,
+    matching the Table-1 methodology); the contraction count is
+    deterministic and only recorded once per mode.
+    """
+    entry: dict = {}
+    for mode, batched in (("scalar", False), ("batched", True)):
+        times: List[float] = []
+        for _ in range(repeats):
+            result = compute_image(builder(), method=method,
+                                   batched=batched)
+            times.append(result.stats.seconds)
+        entry[mode] = {
+            "median_seconds": statistics.median(times),
+            "contractions": result.stats.contractions,
+        }
+        entry["dimension"] = result.dimension
+    entry["speedup"] = (entry["scalar"]["median_seconds"]
+                        / max(entry["batched"]["median_seconds"], 1e-9))
+    return entry
+
+
+def measure(repeats: int = DEFAULT_REPEATS) -> dict:
+    return {
+        "snapshot": "PR6",
+        "repeats": repeats,
+        "families": {name: measure_family(builder, repeats)
+                     for name, builder in FAMILIES.items()},
+    }
+
+
+def compare(current: dict, committed: dict,
+            tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """The regressions of ``current`` against a committed snapshot.
+
+    Returns human-readable failure lines (empty = no regression).
+    Families present only on one side are skipped: the snapshot is a
+    floor for what it measured, not a schema lock.
+    """
+    failures: List[str] = []
+    for name, base in committed.get("families", {}).items():
+        entry = current.get("families", {}).get(name)
+        if entry is None:
+            continue
+        got = entry["batched"]["contractions"]
+        want = base["batched"]["contractions"]
+        if got > want:
+            failures.append(
+                f"{name}: batched contractions {got} > committed {want}")
+        floor = base["speedup"] * (1 - tolerance)
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {entry['speedup']:.2f}x below "
+                f"{floor:.2f}x (committed {base['speedup']:.2f}x "
+                f"- {tolerance:.0%})")
+    return failures
+
+
+def format_snapshot(snapshot: dict) -> str:
+    lines = [f"{'family':<10} {'scalar[s]':>10} {'batched[s]':>11} "
+             f"{'speedup':>8} {'contr s/b':>10}"]
+    for name, entry in snapshot["families"].items():
+        lines.append(
+            f"{name:<10} {entry['scalar']['median_seconds']:>10.4f} "
+            f"{entry['batched']['median_seconds']:>11.4f} "
+            f"{entry['speedup']:>7.2f}x "
+            f"{entry['scalar']['contractions']:>5}/"
+            f"{entry['batched']['contractions']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.trajectory",
+        description="Scalar-vs-batched perf snapshot (write) and "
+                    "regression gate (compare).")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--write", metavar="PATH",
+                       help="measure and write a snapshot JSON")
+    group.add_argument("--compare", metavar="PATH",
+                       help="measure and compare against a committed "
+                            "snapshot; exit 1 on regression")
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional speedup erosion "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+    snapshot = measure(repeats=args.repeats)
+    print(format_snapshot(snapshot))
+    if args.write:
+        with open(args.write, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.write}")
+        return 0
+    with open(args.compare, "r", encoding="utf-8") as handle:
+        committed = json.load(handle)
+    failures = compare(snapshot, committed, tolerance=args.tolerance)
+    if failures:
+        print("bench-compare FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"bench-compare OK against {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -61,6 +61,14 @@ class ImageComputerBase:
     swaps in a :class:`~repro.image.sliced.SlicedExecutor` when the
     sliced strategy is selected), so parallel sliced execution composes
     with each algorithm without touching its partitioning logic.
+
+    Multi-circuit Kraus families are applied through the **batched**
+    weight kernel by default (``self.batched``): the family is stacked
+    into one vector-weight operator (:mod:`repro.image.batched`) and
+    every basis state takes a single contraction for the whole family
+    instead of one per branch.  ``batched=False`` restores the scalar
+    per-branch loop (the two produce canonically identical states; see
+    the property tests).
     """
 
     method: str = "abstract"
@@ -70,6 +78,12 @@ class ImageComputerBase:
         self.qts = qts
         #: pluggable contraction executor (see :mod:`repro.image.sliced`)
         self.executor = MonolithicExecutor()
+        #: apply multi-Kraus families through the batched kernel
+        self.batched = True
+        #: peak nodes observed while building cached operator diagrams
+        self.build_stats = StatsRecorder()
+        self._monolithic_ops = {}
+        self._families = {}
 
     def image(self, subspace: Optional[Subspace] = None,
               stats: Optional[StatsRecorder] = None) -> ImageResult:
@@ -92,7 +106,19 @@ class ImageComputerBase:
             subspace = self.qts.initial
         if stats is None:
             stats = StatsRecorder()
+        circuits = list(circuits)
         result = Subspace(self.qts.space)
+        if self.batched and len(circuits) > 1:
+            family = self.family_for(circuits, stats)
+            for state in subspace.basis:
+                for image_state in family.images(state, self.executor,
+                                                 self.qts.space, stats):
+                    stats.observe_tdd(image_state)
+                    added = result.add_state(image_state)
+                    if added is not None:
+                        stats.observe_tdd(added)
+            stats.observe_nodes(result.projector.size())
+            return ImageResult(result, stats)
         for state in subspace.basis:
             for circuit in circuits:
                 for image_state in self._circuit_images(state, circuit,
@@ -103,6 +129,36 @@ class ImageComputerBase:
                         stats.observe_tdd(added)
         stats.observe_nodes(result.projector.size())
         return ImageResult(result, stats)
+
+    # ------------------------------------------------------------------
+    # batched-family machinery (shared by all four methods)
+    # ------------------------------------------------------------------
+    def monolithic_operator_for(self, circuit, stats: StatsRecorder):
+        """The cached monolithic ``(operator, inputs, outputs)`` triple.
+
+        Partition methods avoid monolithic operators for their *scalar*
+        per-circuit work; the batched family path reuses this shared
+        cache because stacking requires whole-circuit operators.
+        """
+        from repro.circuits.network import circuit_to_tdd
+        key = id(circuit)
+        entry = self._monolithic_ops.get(key)
+        if entry is None:
+            entry = circuit_to_tdd(circuit, self.qts.manager,
+                                   observer=self.build_stats.observe_tdd)
+            self._monolithic_ops[key] = entry
+        stats.merge(self.build_stats)
+        return entry
+
+    def family_for(self, circuits: Sequence, stats: StatsRecorder):
+        """The cached :class:`~repro.image.batched.BatchedFamily`."""
+        from repro.image.batched import build_family
+        key = tuple(id(c) for c in circuits)
+        family = self._families.get(key)
+        if family is None:
+            family = build_family(self, circuits, stats)
+            self._families[key] = family
+        return family
 
     # subclasses implement: all images of one basis state under the
     # Kraus circuit (one TDD for a plain circuit; partition methods may

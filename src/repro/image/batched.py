@@ -1,0 +1,129 @@
+"""Batched Kraus-family image computation.
+
+The scalar image loop applies each Kraus operator of a family to each
+basis state — one kernel invocation per (state, operator) pair.  The
+batched path stacks the whole family into **one** diagram whose edge
+weights are vectors (one slot per Kraus branch, see
+:mod:`repro.tdd.batch`), so one ``contract`` invocation per basis state
+computes every branch image at once; the per-branch states come back by
+indexing the parallel axis.
+
+Stacking requires all branches to share one index signature, which
+Kraus circuits generally do not: a branch with more non-diagonal gates
+on qubit *q* ends on a later wire index.  :func:`build_family` unifies
+the signatures first:
+
+* every branch's output on qubit *q* is renamed to the family-wide
+  *latest* output wire of *q* (an order-preserving rename — wire times
+  only grow within one qubit's level block);
+* a branch whose qubit-*q* wire is *fused* (diagonal-only, input ==
+  output) while another branch advances it is padded with an identity
+  wire ``delta(input, common_output)``, splitting the fused leg into a
+  proper input/output pair.
+
+After unification every branch has the same inputs, outputs and sum
+set, so the stacked operator contracts against a state exactly like a
+single monolithic operator — through whichever executor (monolithic or
+sliced) the engine installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.errors import ReproError
+from repro.image.base import input_sum_indices, rename_outputs_to_kets
+from repro.indices.index import Index
+from repro.subspace.subspace import StateSpace
+from repro.tdd.batch import stack, unstack_edge
+from repro.tdd.construction import delta
+from repro.tdd.tdd import TDD
+from repro.utils.stats import StatsRecorder
+
+
+@dataclass
+class BatchedFamily:
+    """A stacked Kraus family ready for one-invocation image steps."""
+
+    #: the stacked operator; parallel axis length == ``count``
+    operator: TDD
+    #: circuit input wires (``x_q^0``), shared by every branch
+    inputs: List[Index]
+    #: unified per-qubit output wires (latest across the family)
+    outputs: List[Index]
+    #: number of stacked Kraus branches
+    count: int
+
+    @property
+    def sum_over(self) -> List[Index]:
+        return input_sum_indices(self.inputs, self.outputs)
+
+    def images(self, state: TDD, executor, space: StateSpace,
+               stats: StatsRecorder) -> Iterator[TDD]:
+        """All branch images of ``state`` from one contraction.
+
+        Yields one scalar (unbatched) state per Kraus branch, outputs
+        already renamed back onto the canonical kets — the same stream
+        the scalar loop produces, in the same branch order.
+        """
+        manager = state.manager
+        batched = executor.contract(state, self.operator, self.sum_over,
+                                    stats)
+        stats.contractions += 1
+        stats.observe_tdd(batched)
+        for slot in range(self.count):
+            root = unstack_edge(manager, batched.root, slot)
+            branch = TDD(manager, root, batched.indices)
+            yield rename_outputs_to_kets(space, branch, self.outputs)
+
+
+def _latest(a: Index, b: Index) -> Index:
+    return b if (b.time or 0) > (a.time or 0) else a
+
+
+def _unify_signature(manager, operator: TDD, inputs: Sequence[Index],
+                     outputs: Sequence[Index],
+                     common: Sequence[Index]) -> TDD:
+    """Rebase one branch operator onto the family-wide output wires."""
+    renames = {}
+    pads = []
+    for q, (out, target) in enumerate(zip(outputs, common)):
+        if out == target:
+            continue
+        if out == inputs[q]:
+            # fused wire: split into input + identity-wired output
+            pads.append((inputs[q], target))
+        else:
+            renames[out] = target
+    if renames:
+        operator = operator.rename(renames)
+    for source, target in pads:
+        operator = operator.product(delta(manager, (source, target)))
+    return operator
+
+
+def build_family(computer, circuits: Sequence,
+                 stats: StatsRecorder) -> BatchedFamily:
+    """Stack ``circuits`` (one operation's Kraus family — or several
+    operations' families concatenated) into a :class:`BatchedFamily`.
+
+    Uses the computer's cached monolithic operators, so repeated
+    fixpoint rounds pay the per-branch contraction and the stacking
+    once.
+    """
+    manager = computer.qts.manager
+    entries = [computer.monolithic_operator_for(circuit, stats)
+               for circuit in circuits]
+    inputs = list(entries[0][1])
+    for _, inp, _ in entries[1:]:
+        if list(inp) != inputs:
+            raise ReproError("Kraus branches of one family must share "
+                             "their input wires")
+    common = list(entries[0][2])
+    for _, _, outs in entries[1:]:
+        common = [_latest(a, b) for a, b in zip(common, outs)]
+    unified = [_unify_signature(manager, op, inp, outs, common)
+               for op, inp, outs in entries]
+    return BatchedFamily(operator=stack(unified), inputs=inputs,
+                         outputs=common, count=len(unified))

@@ -154,6 +154,7 @@ class TDDBackend:
             bound=cfg.bound if bound is None else bound,
             driver=cfg.driver if driver is None else driver,
             warm_start=warm_start,
+            batched=cfg.batched,
             **cfg.method_params)
 
     def __repr__(self) -> str:

@@ -1,0 +1,154 @@
+"""Stacking scalar diagrams into one batched diagram and back.
+
+The batched weight kernel (see :mod:`repro.tdd.weights`) represents a
+*family* of same-shaped tensors as one diagram whose edge weights are
+vectors — one slot per family member.  This module provides the two
+conversions:
+
+* :func:`stack_edges` / :func:`stack` — synchronised structural merge
+  of ``k`` scalar diagrams into one array-weight diagram.  Slots that
+  structurally agree share nodes for free; slots that differ only meet
+  at the nodes where they actually differ, so the stacked diagram is
+  never larger than the slot diagrams laid side by side and usually
+  much smaller (Kraus operators of one noise family share almost all
+  structure).
+* :func:`unstack_edge` / :func:`unstack` — extract slot ``i`` as an
+  ordinary scalar diagram (a memoised postorder rebuild through
+  :func:`~repro.tdd.apply.unary_apply`; slots whose weight vanishes at
+  a node collapse naturally through ``make_node``'s zero clamping).
+
+Both directions are iterative — no recursion on diagram depth — which
+matters because benchmark circuits register thousands of levels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import TDDError
+from repro.tdd import weights as wt
+from repro.tdd import xp as _xp
+from repro.tdd.apply import slice_pair, unary_apply
+from repro.tdd.node import Edge, TERMINAL_LEVEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tdd.manager import TDDManager
+    from repro.tdd.tdd import TDD
+
+_ENTER = 0
+_EXIT = 1
+
+
+def edge_parallel_shape(edge: Edge) -> tuple:
+    """The parallel shape of ``edge``'s root weight (``()`` if scalar)."""
+    return wt.parallel_shape(edge.weight)
+
+
+def stack_edges(manager: "TDDManager", edges: Sequence[Edge]) -> Edge:
+    """Merge ``k`` scalar edges into one batched edge of shape ``(k,)``.
+
+    The merge walks all ``k`` diagrams in lockstep: at each step it
+    branches every slot on the lowest level any slot branches on
+    (slots that do not depend on that index simply duplicate), and the
+    per-slot weights land in one weight vector.  Groups are memoised on
+    the exact (weight, node) pairs of their slots, so shared substructure
+    across slots is merged once.
+    """
+    edges = tuple(edges)
+    if not edges:
+        raise TDDError("cannot stack an empty edge sequence")
+    for edge in edges:
+        if wt.parallel_shape(edge.weight):
+            raise TDDError("stack_edges expects scalar (unbatched) edges")
+    memo = {}
+    stack = [(_ENTER, edges)]
+    values: List[Edge] = []
+    while stack:
+        frame = stack.pop()
+        if frame[0] == _ENTER:
+            group = frame[1]
+            key = tuple(wt.cache_key(e.weight, id(e.node)) for e in group)
+            cached = memo.get(key)
+            if cached is not None:
+                values.append(cached)
+                continue
+            top = min((e.node.level for e in group if not e.is_zero),
+                      default=TERMINAL_LEVEL)
+            if top == TERMINAL_LEVEL:
+                # every live slot already sits on the terminal
+                vector = np.array([complex(e.weight) for e in group],
+                                  dtype=_xp.COMPLEX_DTYPE)
+                result = manager.make_edge(_xp.asarray(vector),
+                                           manager.terminal)
+                memo[key] = result
+                values.append(result)
+                continue
+            lows = []
+            highs = []
+            for e in group:
+                low, high = slice_pair(manager, e, top)
+                lows.append(low)
+                highs.append(high)
+            stack.append((_EXIT, key, top))
+            stack.append((_ENTER, tuple(highs)))
+            stack.append((_ENTER, tuple(lows)))
+        else:
+            _, key, top = frame
+            high = values.pop()
+            low = values.pop()
+            result = manager.make_node(top, low, high)
+            memo[key] = result
+            values.append(result)
+    return values[0]
+
+
+def unstack_edge(manager: "TDDManager", edge: Edge, slot: int) -> Edge:
+    """Slot ``slot`` of a batched edge, as an ordinary scalar edge."""
+    def pick(weight):
+        if type(weight) is complex:
+            return weight
+        return complex(weight[slot])
+
+    return unary_apply(
+        manager, edge,
+        rebuild=lambda node, low, high: manager.make_node(
+            node.level, low, high),
+        weight_map=pick)
+
+
+def stack(tdds: Sequence["TDD"]) -> "TDD":
+    """Stack same-manager TDD handles into one batched handle.
+
+    The result's free set is the union of the operands' — a slot that
+    does not depend on some union index is constant along it, exactly
+    like a scalar sum of mismatched-rank tensors.
+    """
+    from repro.tdd.tdd import TDD
+    tdds = list(tdds)
+    if not tdds:
+        raise TDDError("cannot stack an empty TDD sequence")
+    manager = tdds[0].manager
+    for t in tdds[1:]:
+        if t.manager is not manager:
+            raise TDDError("stacked TDDs must share one manager")
+    indices = set()
+    for t in tdds:
+        indices |= set(t.indices)
+    root = stack_edges(manager, [t.root for t in tdds])
+    return TDD(manager, root, indices)
+
+
+def unstack(tdd: "TDD", count: int) -> List["TDD"]:
+    """The ``count`` scalar slots of a batched TDD, in slot order."""
+    from repro.tdd.tdd import TDD
+    return [TDD(tdd.manager,
+                unstack_edge(tdd.manager, tdd.root, slot),
+                tdd.indices)
+            for slot in range(count)]
+
+
+def stack_values(values: Iterable[complex]) -> np.ndarray:
+    """A weight vector from per-slot scalars (convenience for callers)."""
+    return _xp.asarray(np.array(list(values), dtype=_xp.COMPLEX_DTYPE))

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as _np
+
 from repro.indices.index import Index
+from repro.tdd import xp as _xp
 from repro.indices.order import IndexOrder
 from repro.tdd.manager import TDDManager
 from repro.tdd.node import Edge, Node
@@ -59,7 +62,35 @@ def manager_from_order(payload: Sequence[Tuple[str, object, object]]
     return TDDManager(restore_order(payload))
 
 
-def _format_weight(value: complex) -> str:
+def _encode_weight(value) -> object:
+    """Weight → JSON: ``[re, im]`` scalars, ``{"re": …, "im": …}`` vectors.
+
+    The scalar form is unchanged from the pre-batching codec, so
+    payloads produced by older workers still decode.
+    """
+    if type(value) is complex:
+        return [value.real, value.imag]
+    array = _np.asarray(value)
+    return {"re": array.real.tolist(), "im": array.imag.tolist()}
+
+
+def _decode_weight(data):
+    if isinstance(data, dict):
+        return _xp.asarray(_np.asarray(data["re"])
+                           + 1j * _np.asarray(data["im"]))
+    return complex(data[0], data[1])
+
+
+def _is_unit_weight(value) -> bool:
+    return type(value) is complex and value == 1
+
+
+def _format_weight(value) -> str:
+    if not isinstance(value, complex):
+        inner = ", ".join(_format_weight(complex(v))
+                          for v in _np.asarray(value).ravel()[:4])
+        more = ", …" if _np.asarray(value).size > 4 else ""
+        return f"[{inner}{more}]"
     if value.imag == 0:
         real = value.real
         if real == int(real):
@@ -98,7 +129,7 @@ def to_dot(tdd: TDD, name: str = "tdd") -> str:
             if action == "edge":
                 nid, edge, style, colour = payload
                 attrs = [f"style={style}", f"color={colour}"]
-                if edge.weight != 1:
+                if not _is_unit_weight(edge.weight):
                     attrs.append(f'label="{_format_weight(edge.weight)}"')
                 lines.append(f"  {nid} -> {node_id(edge.node)} "
                              f"[{', '.join(attrs)}];")
@@ -129,7 +160,7 @@ def to_dot(tdd: TDD, name: str = "tdd") -> str:
     if not root.is_zero:
         emit(root.node)
         attrs = []
-        if root.weight != 1:
+        if not _is_unit_weight(root.weight):
             attrs.append(f'label="{_format_weight(root.weight)}"')
         attr_text = f" [{', '.join(attrs)}]" if attrs else ""
         lines.append(f"  root -> {node_id(root.node)}{attr_text};")
@@ -152,8 +183,7 @@ def to_dict(tdd: TDD) -> dict:
             action, payload = stack.pop()
             if action == "fill":
                 entry, tag, edge = payload
-                entry[tag] = {"weight": [edge.weight.real,
-                                         edge.weight.imag],
+                entry[tag] = {"weight": _encode_weight(edge.weight),
                               "node": ids[id(edge.node)]}
                 continue
             node = payload
@@ -180,7 +210,7 @@ def to_dict(tdd: TDD) -> dict:
 
     root: Edge = tdd.root
     out = {"indices": list(tdd.index_names),
-           "root_weight": [root.weight.real, root.weight.imag]}
+           "root_weight": _encode_weight(root.weight)}
     out["root_node"] = None if root.is_zero else visit(root.node)
     out["nodes"] = nodes
     return out
@@ -225,7 +255,7 @@ def from_dict(manager, data: dict) -> TDD:
                 if sub is None:
                     return manager.zero_edge()
                 inner = cache[sub["node"]]
-                weight = complex(sub["weight"][0], sub["weight"][1])
+                weight = _decode_weight(sub["weight"])
                 return manager.make_edge(weight * inner.weight, inner.node)
 
             cache[node_id] = manager.make_node(
@@ -233,8 +263,9 @@ def from_dict(manager, data: dict) -> TDD:
                 child("low"), child("high"))
         return cache[start_id]
 
-    weight = complex(data["root_weight"][0], data["root_weight"][1])
-    if data["root_node"] is None or weight == 0:
+    from repro.tdd import weights as _wt
+    weight = _decode_weight(data["root_weight"])
+    if data["root_node"] is None or _wt.any_is_zero(weight):
         root = manager.zero_edge()
     else:
         inner = build(data["root_node"])

@@ -1,0 +1,68 @@
+"""The array-namespace seam of the batched weight kernel.
+
+Every vectorized weight operation in the TDD kernel goes through the
+module-level :data:`xp` namespace instead of importing :mod:`numpy`
+directly.  Numpy is the required backend — it ships with the package
+and the scalar kernel already depends on it — but routing the batched
+arithmetic through one indirection point leaves a documented seam for
+a GPU accelerator:
+
+* a torch (or cupy) namespace honouring the small surface below
+  (``asarray``, ``where``, ``abs``, ``round``, broadcasting semantics
+  and ``complex128`` dtype) can be swapped in with
+  :func:`set_namespace` without touching :mod:`repro.tdd.weights`,
+  :mod:`repro.tdd.manager` or :mod:`repro.tdd.apply`;
+* weight *keys* (unique-table and memo-cache hashes) always go through
+  :func:`to_bytes`, which is the one place a device array must land on
+  the host — an accelerated namespace overrides it with its own
+  device-to-host transfer.
+
+This mirrors the ``Backend`` protocol of :mod:`repro.mc.backends`: the
+model-checking layer swaps whole engines, this seam swaps the array
+library *inside* the symbolic engine.  Torch is deliberately not
+imported here (the container may not have it); an integration gates on
+``importlib.util.find_spec("torch")`` and calls :func:`set_namespace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: the active array namespace; numpy unless :func:`set_namespace` swaps
+#: in an accelerator module with compatible semantics
+xp = np
+
+#: the complex dtype every weight vector uses
+COMPLEX_DTYPE = np.complex128
+
+
+def set_namespace(namespace) -> None:
+    """Swap the array namespace (the torch-accelerator seam).
+
+    The replacement must provide numpy-compatible ``asarray``,
+    ``where``, ``abs``, ``round`` and elementwise complex arithmetic.
+    Only module state changes — diagrams built before the swap keep
+    their existing weight arrays.
+    """
+    global xp
+    xp = namespace
+
+
+def get_namespace():
+    """The active array namespace (numpy by default)."""
+    return xp
+
+
+def asarray(values):
+    """``values`` as a complex weight vector in the active namespace."""
+    return xp.asarray(values, dtype=COMPLEX_DTYPE)
+
+
+def to_bytes(array) -> bytes:
+    """Host bytes of a weight vector, for hashable cache/unique keys.
+
+    Accelerated namespaces override the behaviour implicitly: their
+    arrays must expose numpy interop (``np.asarray`` triggers the
+    device-to-host copy exactly here and nowhere else).
+    """
+    return np.asarray(array).tobytes()

@@ -31,6 +31,13 @@ class StatsRecorder:
     #: Operation-cache lookups answered from / missing the memo tables.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Per-table breakdown of the same lookups: the addition and
+    #: contraction caches behave very differently under batching, so
+    #: the combined rate hides which table earns its memory.
+    add_hits: int = 0
+    add_misses: int = 0
+    cont_hits: int = 0
+    cont_misses: int = 0
     #: Bounded-cache evictions during the run.
     cache_evictions: int = 0
     #: Cofactor subproblems executed by the sliced strategy.
@@ -68,6 +75,18 @@ class StatsRecorder:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def add_hit_rate(self) -> float:
+        """Hit rate of the addition memo table alone."""
+        total = self.add_hits + self.add_misses
+        return self.add_hits / total if total else 0.0
+
+    @property
+    def cont_hit_rate(self) -> float:
+        """Hit rate of the contraction memo table alone."""
+        total = self.cont_hits + self.cont_misses
+        return self.cont_hits / total if total else 0.0
+
     def record_manager(self, manager,
                        baseline: Optional[Dict[str, int]] = None) -> None:
         """Snapshot a manager's kernel counters into this recorder.
@@ -81,6 +100,12 @@ class StatsRecorder:
         base = baseline or {}
         self.cache_hits = counters["hits"] - base.get("hits", 0)
         self.cache_misses = counters["misses"] - base.get("misses", 0)
+        self.add_hits = counters["add_hits"] - base.get("add_hits", 0)
+        self.add_misses = (counters["add_misses"]
+                           - base.get("add_misses", 0))
+        self.cont_hits = counters["cont_hits"] - base.get("cont_hits", 0)
+        self.cont_misses = (counters["cont_misses"]
+                            - base.get("cont_misses", 0))
         self.cache_evictions = (counters["evictions"]
                                 - base.get("evictions", 0))
         self.gc_runs = counters["gc_runs"] - base.get("gc_runs", 0)
@@ -96,6 +121,10 @@ class StatsRecorder:
         self.additions += other.additions
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.add_hits += other.add_hits
+        self.add_misses += other.add_misses
+        self.cont_hits += other.cont_hits
+        self.cont_misses += other.cont_misses
         self.cache_evictions += other.cache_evictions
         self.slices += other.slices
         self.parallel_tasks += other.parallel_tasks
@@ -115,6 +144,12 @@ class StatsRecorder:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "add_hits": self.add_hits,
+            "add_misses": self.add_misses,
+            "add_hit_rate": self.add_hit_rate,
+            "cont_hits": self.cont_hits,
+            "cont_misses": self.cont_misses,
+            "cont_hit_rate": self.cont_hit_rate,
             "cache_evictions": self.cache_evictions,
             "slices": self.slices,
             "parallel_tasks": self.parallel_tasks,

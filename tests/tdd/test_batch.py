@@ -1,0 +1,90 @@
+"""Stack/unstack: the scalar <-> batched diagram conversions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TDDError
+from repro.indices.index import Index
+from repro.tdd import batch, construction as tc
+from repro.tdd import weights as wt
+from repro.tdd.manager import TDDManager
+
+
+@pytest.fixture
+def manager():
+    m = TDDManager()
+    m.order.register(Index("a"))
+    m.order.register(Index("b"))
+    m.order.register(Index("c"))
+    return m
+
+
+def tensor(manager, indices, values):
+    return tc.from_numpy(manager,
+                         np.array(values, dtype=complex), indices)
+
+
+class TestStackUnstackRoundTrip:
+    def test_roundtrip_recovers_every_slot(self, manager):
+        slots = [tensor(manager, [Index("a"), Index("b")],
+                        [[1, 0], [0, 1]]),
+                 tensor(manager, [Index("a"), Index("b")],
+                        [[0, 1], [1, 0]]),
+                 tensor(manager, [Index("a"), Index("b")],
+                        [[0.5, 0.5j], [0, -1]])]
+        stacked = batch.stack(slots)
+        assert batch.edge_parallel_shape(stacked.root) == (3,)
+        for original, recovered in zip(slots, batch.unstack(stacked, 3)):
+            assert recovered.same_as(original)
+
+    def test_identical_slots_share_all_structure(self, manager):
+        t = tensor(manager, [Index("a")], [1, 1j])
+        stacked = batch.stack([t, t, t])
+        # slots agree everywhere -> the batched diagram has the scalar
+        # diagram's shape (only weights are vectors)
+        assert stacked.size() == t.size()
+
+    def test_zero_slot_survives(self, manager):
+        live = tensor(manager, [Index("a")], [1, 2])
+        zero = tc.zero(manager, [Index("a")])
+        stacked = batch.stack([live, zero])
+        back = batch.unstack(stacked, 2)
+        assert back[0].same_as(live)
+        assert back[1].is_zero
+
+    def test_rank_mismatch_unions_indices(self, manager):
+        wide = tensor(manager, [Index("a"), Index("b")],
+                      [[1, 2], [3, 4]])
+        narrow = tensor(manager, [Index("a")], [5, 6])
+        stacked = batch.stack([wide, narrow])
+        assert set(stacked.indices) == {Index("a"), Index("b")}
+        back = batch.unstack(stacked, 2)
+        assert back[0].to_numpy()[1][0] == 3
+        # the narrow slot is constant along b
+        assert back[1].to_numpy()[1][0] == back[1].to_numpy()[1][1] == 6
+
+
+class TestStackValidation:
+    def test_empty_sequence_rejected(self, manager):
+        with pytest.raises(TDDError):
+            batch.stack_edges(manager, [])
+
+    def test_already_batched_edge_rejected(self, manager):
+        stacked = batch.stack([tensor(manager, [Index("a")], [1, 2]),
+                               tensor(manager, [Index("a")], [3, 4])])
+        with pytest.raises(TDDError):
+            batch.stack_edges(manager, [stacked.root])
+
+    def test_cross_manager_rejected(self, manager):
+        other = TDDManager()
+        other.order.register(Index("a"))
+        with pytest.raises(TDDError):
+            batch.stack([tensor(manager, [Index("a")], [1, 2]),
+                         tensor(other, [Index("a")], [1, 2])])
+
+
+class TestStackValues:
+    def test_builds_complex_vector(self):
+        vector = batch.stack_values([1, 1j, -2])
+        assert wt.parallel_shape(vector) == (3,)
+        assert vector[1] == 1j

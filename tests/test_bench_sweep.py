@@ -370,7 +370,8 @@ class TestDriverAxisAndWarmStart:
             "trace_length", "trace_valid", "iterations", "converged",
             "cache_warm", "dimension", "seconds", "max_nodes",
             "contractions", "additions", "cache_hits", "cache_misses",
-            "cache_hit_rate", "cache_evictions", "slices",
+            "cache_hit_rate", "add_hit_rate", "cont_hit_rate",
+            "cache_evictions", "slices",
             "parallel_tasks", "pool_fallbacks", "gc_runs",
             "nodes_reclaimed", "peak_live_nodes", "live_nodes",
             "failed", "error",

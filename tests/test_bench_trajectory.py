@@ -1,0 +1,57 @@
+"""The perf-trajectory snapshot and its CI regression gate."""
+
+from repro.bench import trajectory
+
+
+def snapshot(speedup: float, contractions: int) -> dict:
+    return {"families": {"fam": {
+        "scalar": {"median_seconds": speedup, "contractions": 12},
+        "batched": {"median_seconds": 1.0, "contractions": contractions},
+        "speedup": speedup,
+    }}}
+
+
+class TestCompare:
+    def test_clean_pass(self):
+        base = snapshot(2.0, 3)
+        assert trajectory.compare(snapshot(2.0, 3), base) == []
+
+    def test_speedup_erosion_within_tolerance_passes(self):
+        base = snapshot(2.0, 3)
+        assert trajectory.compare(snapshot(1.7, 3), base) == []
+
+    def test_speedup_erosion_beyond_tolerance_fails(self):
+        base = snapshot(2.0, 3)
+        failures = trajectory.compare(snapshot(1.5, 3), base)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_contraction_regression_fails(self):
+        base = snapshot(2.0, 3)
+        failures = trajectory.compare(snapshot(2.0, 12), base)
+        assert len(failures) == 1
+        assert "contractions" in failures[0]
+
+    def test_unknown_family_skipped(self):
+        current = {"families": {}}
+        assert trajectory.compare(current, snapshot(2.0, 3)) == []
+
+    def test_custom_tolerance(self):
+        base = snapshot(2.0, 3)
+        assert trajectory.compare(snapshot(1.5, 3), base,
+                                  tolerance=0.5) == []
+
+
+class TestMeasure:
+    def test_family_entry_schema(self):
+        entry = trajectory.measure_family(
+            trajectory.FAMILIES["bitflip"], repeats=1)
+        assert set(entry) == {"scalar", "batched", "speedup", "dimension"}
+        assert entry["scalar"]["contractions"] > \
+            entry["batched"]["contractions"]
+        assert entry["dimension"] == 1
+
+    def test_snapshot_round_trips_through_compare(self):
+        current = trajectory.measure(repeats=1)
+        # a snapshot never regresses against itself
+        assert trajectory.compare(current, current) == []
