@@ -44,6 +44,7 @@ from repro.image.sliced import DEFAULT_SLICE_DEPTH
 from repro.mc.checker import ModelChecker
 from repro.mc.config import CheckerConfig, _warn_legacy
 from repro.mc.reachability import ReachabilityCache
+from repro.store import ResultStore
 from repro.systems import models
 from repro.utils.tables import format_table
 
@@ -52,7 +53,8 @@ CSV_COLUMNS = (
     "run_id", "label", "model", "size", "method", "backend", "strategy",
     "jobs", "slice_depth", "driver", "direction", "bound", "spec",
     "verdict", "witness_dimension", "trace_length", "trace_valid",
-    "iterations", "converged", "cache_warm", "dimension", "seconds",
+    "iterations", "converged", "cache_warm", "store_hit", "dimension",
+    "seconds",
     "max_nodes", "contractions", "additions", "cache_hits",
     "cache_misses", "cache_hit_rate", "add_hit_rate", "cont_hit_rate",
     "cache_evictions", "slices",
@@ -357,7 +359,10 @@ def execute_run(spec: RunSpec,
     a sweep crossing those axes pays the iteration ladder once per
     (model, size, spec, direction) cell and replays it from the cache
     for every other configuration.  Warm rows carry
-    ``cache_warm=True``.
+    ``cache_warm=True``; rows whose fixpoint was served by a
+    *persistent* :class:`~repro.store.ResultStore` (``run_sweep``'s
+    ``store_dir``) additionally carry ``store_hit=True`` — a re-run
+    over an already-populated store recomputes no fixpoint at all.
     """
     record = {"model": spec.model, "size": spec.size,
               "method": spec.method, "backend": spec.backend,
@@ -365,7 +370,7 @@ def execute_run(spec: RunSpec,
               "slice_depth": spec.slice_depth, "label": spec.label,
               "driver": spec.driver, "direction": spec.direction,
               "bound": spec.bound, "spec": spec.spec or "",
-              "verdict": "", "cache_warm": False,
+              "verdict": "", "cache_warm": False, "store_hit": False,
               "run_id": spec.run_id, "failed": False, "error": ""}
     try:
         qts = models.build_model(spec.model, spec.size, **spec.model_params)
@@ -382,6 +387,8 @@ def execute_run(spec: RunSpec,
             record["converged"] = result.converged
             record["cache_warm"] = bool(
                 result.stats.extra.get("cache_warm", False))
+            record["store_hit"] = (
+                result.stats.extra.get("cache_source") == "disk")
             record["dimension"] = result.reachable_dimension
             stats = result.stats.as_dict()
         else:
@@ -404,12 +411,29 @@ def execute_run(spec: RunSpec,
 #: runs, so configurations landing on the same worker share fixpoints
 _WORKER_REACH_CACHE = ReachabilityCache()
 
+#: per-worker-process handles on persistent stores, keyed by directory
+#: (one SQLite connection per process; all workers share the same
+#: on-disk store, so fixpoints flow *between* workers too)
+_WORKER_STORES: Dict[str, ResultStore] = {}
 
-def _execute_payload(payload: dict, warm_start: bool = True) -> dict:
+
+def _worker_store(store_dir: str) -> ResultStore:
+    store = _WORKER_STORES.get(store_dir)
+    if store is None:
+        store = _WORKER_STORES[store_dir] = ResultStore(store_dir)
+    return store
+
+
+def _execute_payload(payload: dict, warm_start: bool = True,
+                     store_dir: Optional[str] = None) -> dict:
     """Process-pool entry point (a :class:`RunSpec` as a plain dict)."""
-    return execute_run(RunSpec.from_dict(payload),
-                       reach_cache=(_WORKER_REACH_CACHE if warm_start
-                                    else None))
+    if not warm_start:
+        cache = None
+    elif store_dir is not None:
+        cache = _worker_store(store_dir)
+    else:
+        cache = _WORKER_REACH_CACHE
+    return execute_run(RunSpec.from_dict(payload), reach_cache=cache)
 
 
 @dataclass
@@ -464,7 +488,8 @@ def write_csv(csv_path: str, records: Iterable[dict]) -> None:
 def run_sweep(spec: SweepSpec, jobs: int = 1,
               out_dir: Optional[str] = None, resume: bool = True,
               progress: Optional[Callable[[str], None]] = None,
-              warm_start: bool = True) -> SweepResult:
+              warm_start: bool = True,
+              store_dir: Optional[str] = None) -> SweepResult:
     """Execute a sweep, optionally fanning runs out over a process pool.
 
     ``jobs`` is the number of *concurrent configurations*; each one
@@ -481,6 +506,14 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
     ``--no-warm-start``) when the sweep's purpose is to *benchmark* the
     fixpoint itself — a warm-started row measures one confirming round,
     not the configured engine's full iteration ladder.
+
+    ``store_dir`` (CLI: ``--store DIR``) replaces the sweep-lifetime
+    in-memory cache with a persistent
+    :class:`~repro.store.ResultStore` at that directory: fixpoints
+    survive across sweep invocations and flow between pool workers, so
+    a re-run over a populated store performs *zero* fixpoint
+    recomputations for unchanged (system, seed, direction, bound)
+    keys.  Rows served from disk carry ``store_hit=True``.
     """
     say = progress if progress is not None else (lambda _msg: None)
     json_path = csv_path = None
@@ -517,7 +550,7 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
     if jobs > 1 and len(pending) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {pool.submit(_execute_payload, run.as_dict(),
-                                   warm_start): run
+                                   warm_start, store_dir): run
                        for run in pending}
             remaining = set(futures)
             while remaining:
@@ -526,12 +559,21 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
                 for future in done:
                     record_done(future.result())
     else:
-        # one warm-start cache per sweep: runs differing only in
-        # method/strategy/driver reuse each other's fixpoints without
-        # leaking state beyond this invocation
-        reach_cache = ReachabilityCache() if warm_start else None
-        for run in pending:
-            record_done(execute_run(run, reach_cache=reach_cache))
+        # one warm-start cache per sweep — or, with store_dir, the
+        # persistent store: runs differing only in method/strategy/
+        # driver reuse each other's fixpoints, and with the store they
+        # also reuse every previous invocation's
+        reach_cache = close_me = None
+        if warm_start and store_dir is not None:
+            reach_cache = close_me = ResultStore(store_dir)
+        elif warm_start:
+            reach_cache = ReachabilityCache()
+        try:
+            for run in pending:
+                record_done(execute_run(run, reach_cache=reach_cache))
+        finally:
+            if close_me is not None:
+                close_me.close()
 
     records = [by_id[run.run_id] for run in spec.runs]
     if csv_path is not None:
@@ -618,6 +660,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(use when benchmarking the fixpoint "
                              "itself; warm rows measure one confirming "
                              "round, not the full iteration ladder)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        dest="store_dir",
+                        help="persistent result-store directory: "
+                             "fixpoints warm-start from it across "
+                             "sweep invocations and are written back; "
+                             "rows served from disk carry "
+                             "store_hit=True (see 'repro cache')")
     args = parser.parse_args(argv)
 
     if args.spec:
@@ -637,7 +686,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     result = run_sweep(spec, jobs=args.jobs, out_dir=args.out,
                        resume=not args.no_resume, progress=print,
-                       warm_start=not args.no_warm_start)
+                       warm_start=not args.no_warm_start,
+                       store_dir=args.store_dir)
     print(f"Sweep {spec.name!r}: {len(result.records)} runs "
           f"({result.skipped} resumed, {len(result.failed)} failed)")
     print(format_records(result.records))

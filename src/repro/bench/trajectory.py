@@ -1,6 +1,7 @@
 """Perf-trajectory snapshots: scalar vs batched kernel, per PR.
 
-``BENCH_PR6.json`` (committed at the repo root) records, for the
+``BENCH_PR<n>.json`` (committed at the repo root, one per PR — the
+label comes from ``--snapshot``) records, for the
 smoke-sized multi-Kraus Table-1 families, the wall-clock *median* over
 repeated image computations under the scalar per-branch loop and under
 the batched weight kernel, plus the (deterministic) top-level
@@ -19,8 +20,8 @@ Absolute seconds are machine-specific, so the comparison is over
   runs of the ratio execute on the *same* machine, so the ratio
   travels between hosts even though the medians do not.
 
-Run:  ``python -m repro.bench.trajectory --write BENCH_PR6.json``
-      ``python -m repro.bench.trajectory --compare BENCH_PR6.json``
+Run:  ``python -m repro.bench.trajectory --write BENCH_PR7.json``
+      ``python -m repro.bench.trajectory --compare BENCH_PR7.json``
 """
 
 from __future__ import annotations
@@ -44,6 +45,9 @@ FAMILIES: Dict[str, Callable] = {
 
 DEFAULT_REPEATS = 5
 DEFAULT_TOLERANCE = 0.20
+
+#: the label stamped into freshly written snapshots — bump per PR
+SNAPSHOT_LABEL = "PR7"
 
 
 def measure_family(builder: Callable, repeats: int = DEFAULT_REPEATS,
@@ -71,9 +75,10 @@ def measure_family(builder: Callable, repeats: int = DEFAULT_REPEATS,
     return entry
 
 
-def measure(repeats: int = DEFAULT_REPEATS) -> dict:
+def measure(repeats: int = DEFAULT_REPEATS,
+            snapshot: str = SNAPSHOT_LABEL) -> dict:
     return {
-        "snapshot": "PR6",
+        "snapshot": snapshot,
         "repeats": repeats,
         "families": {name: measure_family(builder, repeats)
                      for name, builder in FAMILIES.items()},
@@ -136,8 +141,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=DEFAULT_TOLERANCE,
                         help="allowed fractional speedup erosion "
                              "(default 0.20)")
+    parser.add_argument("--snapshot", default=SNAPSHOT_LABEL,
+                        help="label stamped into a written snapshot "
+                             f"(default {SNAPSHOT_LABEL})")
     args = parser.parse_args(argv)
-    snapshot = measure(repeats=args.repeats)
+    snapshot = measure(repeats=args.repeats, snapshot=args.snapshot)
     print(format_snapshot(snapshot))
     if args.write:
         with open(args.write, "w", encoding="utf-8") as handle:

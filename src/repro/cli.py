@@ -10,6 +10,9 @@ Subcommands:
   (or on one ``--spec`` check),
 * ``sweep``  — batch experiment runner (declarative spec, process-pool
   fan-out, resumable JSON/CSV artifacts, property-check rows),
+* ``cache``  — manage the persistent result store
+  (``ls``/``stats``/``gc``/``export``/``import``, see
+  :mod:`repro.store.cli`),
 * ``table1`` / ``table2`` / ``smoke`` — forward to the benchmark
   harnesses (all thin wrappers over the sweep runner).
 
@@ -33,6 +36,12 @@ combined with ``&``, ``|``, ``~`` and parentheses.
 Kraus family: ``reach`` computes the states that can *reach* the
 initial set, ``check`` decides the spec from the event set backwards)
 and ``--bound K`` (depth-limit the fixpoint to K image steps).
+``reach``/``check`` accept ``--store DIR``: the fixpoint behind the
+run is warm-started from (and, on a miss, recorded into) the
+disk-backed content-addressed :class:`~repro.store.ResultStore` at
+``DIR`` — only converged, unbounded fixpoints are admitted, so the
+store never changes a verdict, it only collapses repeat runs to one
+confirming iteration.
 ``reach``/``check`` additionally take ``--driver
 {sequential,opsharded,frontier}`` — the fixpoint schedule of
 ``repro.mc.drivers`` (``--frontier`` remains as shorthand for the
@@ -57,6 +66,10 @@ Examples::
     python -m repro invariant grover --size 4 --initial invariant
     python -m repro sweep --models ghz,bv --sizes 3,4 --methods basic \\
         --jobs 2 --out results
+    python -m repro check grover --size 3 --spec "AG inv" \\
+        --store .repro-store
+    python -m repro cache stats --store .repro-store
+    python -m repro cache gc --store .repro-store --max-bytes 1000000
     python -m repro table1 --scale small
 """
 
@@ -134,6 +147,14 @@ def _add_driver_argument(parser: argparse.ArgumentParser) -> None:
                              "(per-operation image tasks, tree-reduced "
                              "joins), frontier (image only the newly "
                              "added directions)")
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent result store: warm-start the "
+                             "fixpoint from DIR and record converged "
+                             "unbounded results back into it (manage "
+                             "with 'repro cache')")
 
 
 def _add_direction_arguments(parser: argparse.ArgumentParser) -> None:
@@ -217,14 +238,49 @@ def _cmd_image(args) -> int:
     return 0
 
 
+def _open_store(args):
+    """The ResultStore named by ``--store``, or ``None``.
+
+    Imported lazily: commands that never touch the store should not
+    pay for (or fail on) the sqlite machinery.
+    """
+    if getattr(args, "store", None) is None:
+        return None
+    from repro.store import ResultStore
+    return ResultStore(args.store)
+
+
 def _cmd_reach(args) -> int:
     config = _config(args)
-    trace = make_backend(config).reachable(_build(args),
-                                           frontier=args.frontier,
-                                           direction=config.direction,
-                                           bound=config.bound)
+    qts = _build(args)
+    store = _open_store(args)
+    store_line = None
+    try:
+        # same admission rule as the checker: only unbounded fixpoints
+        # are warm-started or recorded (a bounded reachable set is not
+        # closed, so it must never seed — or be seeded by — the store)
+        warm = (store.lookup(qts, qts.initial, config.direction, 0)
+                if store is not None and config.bound == 0 else None)
+        trace = make_backend(config).reachable(qts,
+                                               frontier=args.frontier,
+                                               direction=config.direction,
+                                               bound=config.bound,
+                                               warm_start=warm)
+        if store is not None and config.bound == 0:
+            if warm is not None:
+                store_line = f"hit (seed dim {warm.dimension})"
+            else:
+                stored = store.store(qts, qts.initial, config.direction,
+                                     0, trace)
+                store_line = ("miss (recorded)" if stored
+                              else "miss (not recorded)")
+    finally:
+        if store is not None:
+            store.close()
     print(f"model={args.model}{args.size} "
           f"{_engine_label(config, frontier=args.frontier)}")
+    if store_line is not None:
+        print(f"store      = {store_line}")
     print(f"dimensions = {trace.dimensions}")
     print(f"converged  = {trace.converged} "
           f"({trace.iterations} iterations)")
@@ -237,8 +293,19 @@ def _cmd_reach(args) -> int:
 def _cmd_check(args) -> int:
     config = _config(args)
     checker = ModelChecker(_build(args), config)
-    result = checker.check(args.spec, max_iterations=args.max_iterations)
+    store = _open_store(args)
+    try:
+        result = checker.check(args.spec,
+                               max_iterations=args.max_iterations,
+                               reach_cache=store)
+    finally:
+        if store is not None:
+            store.close()
     print(f"model={args.model}{args.size} {_engine_label(config)}")
+    if store is not None and "cache_warm" in result.stats.extra:
+        print("store      = "
+              + ("hit" if result.stats.extra["cache_warm"] else
+                 "miss (recorded)"))
     print(f"spec       = {result.spec}")
     print(f"verdict    = {result.verdict}")
     print(f"reachable  = dim {result.reachable_dimension} "
@@ -317,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_strategy_arguments(reach)
     _add_direction_arguments(reach)
     _add_driver_argument(reach)
+    _add_store_argument(reach)
     reach.add_argument("--frontier", action="store_true",
                        help="shorthand for --driver frontier")
     reach.set_defaults(func=_cmd_reach)
@@ -330,6 +398,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_strategy_arguments(check)
     _add_direction_arguments(check)
     _add_driver_argument(check)
+    _add_store_argument(check)
     check.add_argument("--spec", required=True,
                        help="specification text, e.g. \"AG inv\", "
                             "\"EF marked\", \"AG (inv & ~bad)\", "
@@ -360,6 +429,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep", help="batch experiment runner (resumable, parallel)")
     sweep.set_defaults(func=lambda args: __import__(
         "repro.bench.sweep", fromlist=["main"]).main(args.sweep_args))
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent result store "
+                      "(ls/stats/gc/export/import)")
+    cache.set_defaults(func=lambda args: __import__(
+        "repro.store.cli", fromlist=["main"]).main(args.cache_args))
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
     table1.add_argument("--scale", default="small",
@@ -394,13 +469,16 @@ def main(argv: Optional[List[str]] = None) -> int:
              "--strategy", args.strategy]
             + (["--jobs", str(args.jobs)] if args.jobs else [])))
 
-    # ``sweep`` forwards its whole tail to the sweep module's own parser
-    # so the spec/axes flags live in one place
+    # ``sweep`` and ``cache`` forward their whole tails to their
+    # modules' own parsers so the flags live in one place
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         args = parser.parse_args(["sweep"])
         args.sweep_args = list(argv[1:])
+    elif argv and argv[0] == "cache":
+        args = parser.parse_args(["cache"])
+        args.cache_args = list(argv[1:])
     else:
         args = parser.parse_args(argv)
     try:

@@ -37,3 +37,11 @@ class SpecError(ReproError):
 
 class PartitionError(ReproError):
     """A circuit partition request could not be satisfied."""
+
+
+class StoreError(ReproError):
+    """The persistent result store is unusable (bad schema version,
+    unwritable directory, malformed export file).  Recoverable damage —
+    a truncated or bit-flipped blob, a missing index row — is *not*
+    reported through this exception: it degrades to a cache miss with a
+    quarantine record instead (see :mod:`repro.store`)."""

@@ -48,8 +48,11 @@ class Backend(Protocol):
     schedule (:mod:`repro.mc.drivers`); ``None`` means "use the
     engine's configured default" (forward / unbounded / sequential for
     engines without a config).  ``warm_start`` seeds the fixpoint with
-    a subspace known to lie inside the true reachable space (see
-    :class:`~repro.mc.reachability.ReachabilityCache`).
+    a subspace known to lie inside the true reachable space — served
+    by the in-memory :class:`~repro.mc.reachability.ReachabilityCache`
+    or the disk-backed :class:`~repro.store.ResultStore`; both key on
+    content fingerprints, so a seed computed by either backend (or in
+    another process) warm-starts the other.
     """
 
     name: str

@@ -260,8 +260,10 @@ class ModelChecker:
         construction.  ``witness_trace=False`` skips counterexample
         extraction.
 
-        ``reach_cache`` (a
-        :class:`~repro.mc.reachability.ReachabilityCache`) warm-starts
+        ``reach_cache`` (an in-memory
+        :class:`~repro.mc.reachability.ReachabilityCache` or a
+        disk-backed :class:`~repro.store.ResultStore` — both speak the
+        same ``lookup``/``store`` protocol) warm-starts
         the reachability fixpoint behind an unbounded temporal check:
         on an exact key hit — same transition relation, same fixpoint
         seed, same direction — the cached reachable space seeds the
@@ -364,7 +366,12 @@ class ModelChecker:
             warm_start=warm)
         if cacheable:
             trace.stats.extra["cache_warm"] = warm is not None
-            if warm is None:
+            if warm is not None:
+                # "memory" (ReachabilityCache) or "disk" (ResultStore) —
+                # the sweep runner's store_hit column keys on this
+                trace.stats.extra["cache_source"] = getattr(
+                    reach_cache, "source", "memory")
+            else:
                 reach_cache.store(self.qts, seed, direction, 0, trace)
         return trace
 

@@ -21,7 +21,6 @@ method-independent.
 from __future__ import annotations
 
 import hashlib
-import json
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -34,7 +33,7 @@ from repro.image.sliced import DEFAULT_SLICE_DEPTH
 from repro.mc.drivers import make_driver, resolve_driver
 from repro.subspace.subspace import Subspace
 from repro.systems.qts import QuantumTransitionSystem
-from repro.tdd.io import from_dict, to_dict
+from repro.tdd.io import from_dict, payload_digest, to_dict
 from repro.utils.stats import StatsRecorder
 from repro.utils.timing import Stopwatch
 
@@ -213,9 +212,7 @@ def system_fingerprint(qts: QuantumTransitionSystem) -> str:
 
 def subspace_fingerprint(subspace: Subspace) -> str:
     """A content hash of a subspace's orthonormal basis."""
-    payload = [to_dict(vector) for vector in subspace.basis]
-    text = json.dumps(payload, sort_keys=True)
-    return hashlib.sha256(text.encode()).hexdigest()
+    return payload_digest([to_dict(vector) for vector in subspace.basis])
 
 
 class ReachabilityCache:
@@ -229,12 +226,22 @@ class ReachabilityCache:
     QTS was rebuilt from scratch (the batch-sweep shape: every run
     constructs its own system).
 
-    Entries are only stored for *converged* unbounded runs and served
-    only on an exact key match; a warm hit is a subspace that the
-    caller joins into the fixpoint seed (see
-    :func:`reachable_space`), so a cold cache is merely slow, never
-    wrong.
+    Entries are only stored for *converged* unbounded runs — judged
+    from the trace itself (``trace.bound``/``trace.converged``), not
+    just the ``bound`` argument, so a depth-limited trace can never be
+    laundered into the unbounded key space by a caller passing
+    ``bound=0`` — and served only on an exact key match (the key
+    includes the bound, so a bounded query never consumes an unbounded
+    entry either).  A warm hit is a subspace that the caller joins
+    into the fixpoint seed (see :func:`reachable_space`), so a cold
+    cache is merely slow, never wrong.
+
+    The disk-backed :class:`~repro.store.ResultStore` implements the
+    same ``lookup``/``store`` protocol with the same admission rule;
+    ``source`` tells warm rows apart (``"memory"`` vs ``"disk"``).
     """
+
+    source = "memory"
 
     def __init__(self) -> None:
         self._entries: Dict[tuple, List[dict]] = {}
@@ -266,8 +273,15 @@ class ReachabilityCache:
 
     def store(self, qts: QuantumTransitionSystem, initial: Subspace,
               direction: str, bound: int, trace: ReachabilityTrace) -> None:
-        """Record a finished fixpoint (converged, unbounded runs only)."""
-        if not trace.converged or bound != 0:
+        """Record a finished fixpoint (converged, unbounded runs only).
+
+        The guard inspects ``trace.bound`` as well as the caller's
+        ``bound``: a bounded reachable set is not closed under the
+        transition relation, so storing one under an unbounded key
+        would later seed an unbounded fixpoint with unreachable
+        directions — a wrong answer, not just a slow one.
+        """
+        if not trace.converged or bound != 0 or trace.bound != 0:
             return
         self._entries[self.key(qts, initial, direction, bound)] = \
             [to_dict(vector) for vector in trace.subspace.basis]

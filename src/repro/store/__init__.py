@@ -1,0 +1,17 @@
+"""Disk-backed, content-addressed result store.
+
+The persistent counterpart of the in-memory
+:class:`~repro.mc.reachability.ReachabilityCache`: reachable-space
+fixpoints keyed by the (system, initial-subspace, direction, bound)
+content fingerprints, surviving process restarts.  See
+:mod:`repro.store.store` for the on-disk layout and the crash-safety
+contract, and :mod:`repro.store.migrate` for the schema-version /
+migration machinery.
+"""
+
+from repro.store.migrate import SCHEMA_VERSION
+from repro.store.store import (GCReport, ResultStore, StoreStats,
+                               entry_key)
+
+__all__ = ["ResultStore", "StoreStats", "GCReport", "SCHEMA_VERSION",
+           "entry_key"]

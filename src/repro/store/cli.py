@@ -1,0 +1,142 @@
+"""The ``repro cache`` verb: manage a persistent result store.
+
+Subcommands (all take ``--store DIR``, default ``.repro-store``):
+
+* ``ls``     — one line per entry (key prefix, model shape, dimension,
+  size, hit count, last hit),
+* ``stats``  — entry/byte totals, lifetime hits, quarantine and
+  eviction counters, schema version,
+* ``gc``     — evict least-recently-hit entries down to
+  ``--max-bytes`` and sweep orphaned blob/temp files,
+* ``export`` — write every (integrity-checked) entry to one JSON
+  bundle,
+* ``import`` — merge a bundle written by ``export`` (existing entries
+  are skipped; the store stays content-addressed).
+
+The store itself is populated by ``repro check/reach --store DIR`` and
+``repro sweep --store DIR`` — this verb never computes fixpoints, it
+only curates the ones already on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.store.store import ResultStore
+from repro.utils.tables import format_table
+
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.1f} {unit}" if unit != "B"
+                    else f"{int(value)} B")
+        value /= 1024
+    return f"{int(count)} B"  # pragma: no cover — unreachable
+
+
+def _format_when(stamp: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+def _cmd_ls(store: ResultStore, args) -> int:
+    rows = store.ls()
+    if not rows:
+        print(f"store {store.root}: empty")
+        return 0
+    table = [[row["key"][:12], f"{row['num_qubits']}q",
+              row["direction"], str(row["bound"]),
+              str(row["dimension"]), str(row["iterations"]),
+              _format_bytes(row["bytes"]), str(row["hits"]),
+              _format_when(row["last_hit"])]
+             for row in rows]
+    print(format_table(["key", "qubits", "dir", "bound", "dim",
+                        "iters", "size", "hits", "last hit"], table))
+    print(f"{len(rows)} entries, "
+          f"{_format_bytes(store.total_bytes())} total")
+    return 0
+
+
+def _cmd_stats(store: ResultStore, args) -> int:
+    stats = store.stats()
+    print(f"store          = {stats.root}")
+    print(f"schema version = {stats.schema_version}")
+    print(f"entries        = {stats.entries} "
+          f"({_format_bytes(stats.total_bytes)})")
+    print(f"lifetime hits  = {stats.total_hits}")
+    print(f"quarantined    = {stats.quarantined}")
+    print(f"evictions      = {stats.evictions}")
+    return 0
+
+
+def _cmd_gc(store: ResultStore, args) -> int:
+    report = store.gc(max_bytes=args.max_bytes)
+    print(f"gc: {report.evicted} entries evicted "
+          f"({_format_bytes(report.bytes_freed)} freed), "
+          f"{report.orphans_removed} orphan files removed")
+    print(f"store now {_format_bytes(report.bytes_after)} "
+          f"(was {_format_bytes(report.bytes_before)})")
+    return 0
+
+
+def _cmd_export(store: ResultStore, args) -> int:
+    count = store.export_file(args.out)
+    print(f"exported {count} entries to {args.out}")
+    return 0
+
+
+def _cmd_import(store: ResultStore, args) -> int:
+    imported, skipped = store.import_file(args.input)
+    print(f"imported {imported} entries from {args.input} "
+          f"({skipped} skipped)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Manage the persistent, content-addressed result "
+                    "store that 'repro check/reach/sweep --store DIR' "
+                    "read and populate.")
+    sub = parser.add_subparsers(dest="cache_command", required=True)
+
+    def add(name: str, func, help_text: str) -> argparse.ArgumentParser:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--store", default=DEFAULT_STORE_DIR,
+                         metavar="DIR",
+                         help=f"store directory (default "
+                              f"{DEFAULT_STORE_DIR})")
+        cmd.set_defaults(func=func)
+        return cmd
+
+    add("ls", _cmd_ls, "list stored fixpoints, most recently hit first")
+    add("stats", _cmd_stats,
+        "entry/byte totals, quarantine and eviction counters")
+    gc = add("gc", _cmd_gc,
+             "evict LRU entries to a byte budget, sweep orphans")
+    gc.add_argument("--max-bytes", type=int, default=None,
+                    dest="max_bytes",
+                    help="byte budget to evict down to (least recently "
+                         "hit first); omit to only sweep orphans")
+    export = add("export", _cmd_export,
+                 "write all entries to one JSON bundle")
+    export.add_argument("--out", required=True,
+                        help="bundle file to write")
+    imp = add("import", _cmd_import,
+              "merge a bundle written by 'repro cache export'")
+    imp.add_argument("--input", required=True,
+                     help="bundle file to read")
+
+    args = parser.parse_args(argv)
+    with ResultStore(args.store) as store:
+        return args.func(store, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

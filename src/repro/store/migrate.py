@@ -1,0 +1,137 @@
+"""Schema versioning and one-shot migrations for the result store.
+
+The index carries its schema version in a ``meta`` table; opening a
+store whose version is *older* than :data:`SCHEMA_VERSION` runs the
+registered migrations one by one (each is a one-shot, idempotent DDL /
+backfill step inside a single transaction), and opening one that is
+*newer* refuses loudly — a downgraded binary must never scribble over
+an index it does not understand.
+
+Version history:
+
+* **0** — the pre-versioning layout: an ``entries`` table without the
+  ``checksum`` column, no ``meta`` and no ``quarantine`` table.
+* **1** — current: ``meta`` (schema version, lifetime counters),
+  ``checksum`` column on ``entries`` (blob integrity digest, lazily
+  backfilled for migrated v0 rows on their first verified read) and
+  the ``quarantine`` audit table.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Dict
+
+from repro.errors import StoreError
+
+#: the schema this build of the package reads and writes
+SCHEMA_VERSION = 1
+
+
+def _table_exists(conn: sqlite3.Connection, name: str) -> bool:
+    row = conn.execute(
+        "SELECT 1 FROM sqlite_master WHERE type='table' AND name=?",
+        (name,)).fetchone()
+    return row is not None
+
+
+def _column_exists(conn: sqlite3.Connection, table: str,
+                   column: str) -> bool:
+    return any(info[1] == column
+               for info in conn.execute(f"PRAGMA table_info({table})"))
+
+
+def _migrate_v0_to_v1(conn: sqlite3.Connection) -> None:
+    """v0 -> v1: add the integrity and audit machinery.
+
+    The ``checksum`` backfill is deliberately *lazy*: the column is
+    added empty here, and :meth:`ResultStore.lookup` adopts a digest
+    the first time a v0 blob is read and decodes successfully.  An
+    eager backfill would have to read every blob at open time — the
+    exact full-table scan a migration of a large store must avoid.
+    """
+    if not _column_exists(conn, "entries", "checksum"):
+        conn.execute("ALTER TABLE entries "
+                     "ADD COLUMN checksum TEXT NOT NULL DEFAULT ''")
+    conn.execute("""
+        CREATE TABLE IF NOT EXISTS quarantine (
+            at REAL NOT NULL,
+            key TEXT NOT NULL,
+            reason TEXT NOT NULL,
+            detail TEXT NOT NULL DEFAULT '',
+            moved_to TEXT NOT NULL DEFAULT ''
+        )""")
+
+
+#: version -> the one-shot migration taking the index to version + 1
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    0: _migrate_v0_to_v1,
+}
+
+
+def _create_current(conn: sqlite3.Connection) -> None:
+    """The full version-:data:`SCHEMA_VERSION` DDL (fresh index)."""
+    conn.execute("""
+        CREATE TABLE IF NOT EXISTS entries (
+            key TEXT PRIMARY KEY,
+            system TEXT NOT NULL,
+            initial TEXT NOT NULL,
+            direction TEXT NOT NULL,
+            bound INTEGER NOT NULL,
+            checksum TEXT NOT NULL DEFAULT '',
+            num_qubits INTEGER NOT NULL,
+            dimension INTEGER NOT NULL,
+            iterations INTEGER NOT NULL,
+            bytes INTEGER NOT NULL,
+            created REAL NOT NULL,
+            last_hit REAL NOT NULL,
+            hits INTEGER NOT NULL DEFAULT 0
+        )""")
+    conn.execute("""
+        CREATE TABLE IF NOT EXISTS quarantine (
+            at REAL NOT NULL,
+            key TEXT NOT NULL,
+            reason TEXT NOT NULL,
+            detail TEXT NOT NULL DEFAULT '',
+            moved_to TEXT NOT NULL DEFAULT ''
+        )""")
+
+
+def ensure_schema(conn: sqlite3.Connection) -> int:
+    """Create or upgrade the index schema; returns the final version.
+
+    Runs in one ``BEGIN IMMEDIATE`` transaction so two processes
+    opening the same fresh or legacy store race safely: the loser
+    blocks on the write lock, then finds the schema already current.
+    """
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        legacy_entries = (_table_exists(conn, "entries")
+                          and not _table_exists(conn, "meta"))
+        conn.execute("CREATE TABLE IF NOT EXISTS meta "
+                     "(key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        row = conn.execute("SELECT value FROM meta "
+                           "WHERE key='schema_version'").fetchone()
+        if row is not None:
+            version = int(row[0])
+        elif legacy_entries:
+            version = 0  # pre-versioning index: entries but no meta
+        else:
+            version = SCHEMA_VERSION
+            _create_current(conn)
+        if version > SCHEMA_VERSION:
+            raise StoreError(
+                f"result store schema version {version} is newer than "
+                f"this build understands ({SCHEMA_VERSION}); refusing "
+                f"to touch it — upgrade the package or use a fresh "
+                f"--store directory")
+        while version < SCHEMA_VERSION:
+            MIGRATIONS[version](conn)
+            version += 1
+        conn.execute("INSERT OR REPLACE INTO meta VALUES "
+                     "('schema_version', ?)", (str(version),))
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
+    return version

@@ -18,6 +18,8 @@ diagrams would not be comparable.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as _np
@@ -60,6 +62,28 @@ def manager_from_order(payload: Sequence[Tuple[str, object, object]]
     :func:`from_dict` call re-interns nodes against compatible levels.
     """
     return TDDManager(restore_order(payload))
+
+
+def canonical_json(payload) -> str:
+    """The canonical JSON text of a codec payload.
+
+    Sorted keys and compact separators, so the same payload always
+    serialises to the same bytes — the property both the content
+    fingerprints (:func:`repro.mc.reachability.subspace_fingerprint`)
+    and the result-store blob checksums (:mod:`repro.store`) rely on.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_digest(payload) -> str:
+    """sha256 hex digest of :func:`canonical_json` of ``payload``.
+
+    Used as the content address / integrity checksum of serialised
+    diagrams: a single flipped bit in a stored blob changes the digest,
+    so the store can distinguish "decodes to the wrong thing" from
+    "decodes at all" (JSON often survives a bit flip syntactically).
+    """
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def _encode_weight(value) -> object:

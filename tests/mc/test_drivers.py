@@ -343,3 +343,54 @@ class TestReachabilityCache:
         ModelChecker(models.qrw_qts(3, 0.2), config).check(
             "EF[<=2] start", reach_cache=cache)
         assert len(cache) == 0
+
+    def test_bounded_trace_cannot_launder_into_unbounded_key(self):
+        # regression: store() used to trust the caller's ``bound``
+        # argument alone, so a depth-limited trace handed over with
+        # bound=0 landed under the unbounded key — and later seeded
+        # unbounded fixpoints with a non-closed subspace.  The guard
+        # must judge the *trace* (trace.bound), not the caller.
+        cache = ReachabilityCache()
+        qts = models.qrw_qts(3, 0.2)
+        bounded = reachable_space(qts, method="basic", bound=1)
+        assert bounded.bound == 1
+        cache.store(qts, qts.initial, "forward", 0, bounded)
+        assert len(cache) == 0
+        assert cache.lookup(qts, qts.initial) is None
+
+    def test_bounded_query_never_consumes_unbounded_entry(self):
+        # the bound is part of the key: a depth-limited query must not
+        # be served the saturated reachable space (it would overshoot)
+        cache = ReachabilityCache()
+        qts = models.qrw_qts(3, 0.2)
+        trace = reachable_space(qts, method="basic")
+        cache.store(qts, qts.initial, "forward", 0, trace)
+        assert len(cache) == 1
+        assert cache.lookup(qts, qts.initial, bound=1) is None
+        assert cache.lookup(qts, qts.initial, bound=0) is not None
+
+    def test_bounded_check_neither_pollutes_nor_consumes(self):
+        # end-to-end over check(): an AG[<=k] run against a cache that
+        # already holds the unbounded entry must not touch it at all
+        cache = ReachabilityCache()
+        config = CheckerConfig(method="basic")
+        ModelChecker(models.qrw_qts(3, 0.2), config).check(
+            "AG start", reach_cache=cache)
+        assert len(cache) == 1
+        hits_before = cache.hits
+        bounded = ModelChecker(models.qrw_qts(3, 0.2), config).check(
+            "AG[<=1] start", reach_cache=cache)
+        assert "cache_warm" not in bounded.stats.extra
+        assert len(cache) == 1
+        assert cache.hits == hits_before
+
+    def test_warm_rows_attribute_their_source(self):
+        assert ReachabilityCache.source == "memory"
+        cache = ReachabilityCache()
+        config = CheckerConfig(method="basic")
+        cold = ModelChecker(models.grover_qts(3), config).check(
+            "AG inv", reach_cache=cache)
+        warm = ModelChecker(models.grover_qts(3), config).check(
+            "AG inv", reach_cache=cache)
+        assert "cache_source" not in cold.stats.extra
+        assert warm.stats.extra["cache_source"] == "memory"

@@ -368,7 +368,8 @@ class TestDriverAxisAndWarmStart:
             "strategy", "jobs", "slice_depth", "driver", "direction",
             "bound", "spec", "verdict", "witness_dimension",
             "trace_length", "trace_valid", "iterations", "converged",
-            "cache_warm", "dimension", "seconds", "max_nodes",
+            "cache_warm", "store_hit", "dimension", "seconds",
+            "max_nodes",
             "contractions", "additions", "cache_hits", "cache_misses",
             "cache_hit_rate", "add_hit_rate", "cont_hit_rate",
             "cache_evictions", "slices",
@@ -462,6 +463,72 @@ class TestDriverAxisAndWarmStart:
                 record["cache_warm"])
         assert by_direction["forward"] == [False, True]
         assert by_direction["backward"] == [False, True]
+
+
+class TestResultStoreSweep:
+    def _spec(self, name):
+        return SweepSpec.from_axes(
+            name, ["grover", "ghz"], [3], methods=("basic",),
+            specs=("AG init",))
+
+    def test_populated_store_recomputes_no_fixpoints(self, tmp_path):
+        # the acceptance scenario: a sweep re-run over a populated
+        # store performs zero fixpoint recomputations — every check
+        # row is a disk hit that collapses to one confirming iteration
+        store_dir = str(tmp_path / "store")
+        run_sweep(self._spec("first"), out_dir=str(tmp_path / "a"),
+                  store_dir=store_dir)
+        run_sweep(self._spec("second"), out_dir=str(tmp_path / "b"),
+                  store_dir=store_dir)
+        with open(tmp_path / "b" / "second.csv", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["store_hit"] == "True"
+            assert row["cache_warm"] == "True"
+            assert row["iterations"] == "1"
+            assert row["converged"] == "True"
+
+    def test_store_survives_process_pool(self, tmp_path):
+        # pool workers open their own per-process handle on the same
+        # directory; the second (parallel) sweep must still hit
+        store_dir = str(tmp_path / "store")
+        run_sweep(self._spec("first"), out_dir=str(tmp_path / "a"),
+                  store_dir=store_dir)
+        result = run_sweep(self._spec("second"), jobs=2,
+                           out_dir=str(tmp_path / "b"),
+                           store_dir=store_dir)
+        assert [r["store_hit"] for r in result.records] == [True, True]
+        assert [r["iterations"] for r in result.records] == [1, 1]
+
+    def test_rows_without_store_never_claim_disk_hits(self, tmp_path):
+        result = run_sweep(self._spec("plain"),
+                           out_dir=str(tmp_path / "a"))
+        assert [r["store_hit"] for r in result.records] == \
+            [False, False]
+
+    def test_no_warm_start_bypasses_the_store(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        run_sweep(self._spec("first"), out_dir=str(tmp_path / "a"),
+                  store_dir=store_dir)
+        result = run_sweep(self._spec("second"), warm_start=False,
+                           out_dir=str(tmp_path / "b"),
+                           store_dir=store_dir)
+        assert [r["store_hit"] for r in result.records] == \
+            [False, False]
+
+    def test_memory_warm_rows_are_not_disk_hits(self, tmp_path):
+        # two configs sharing one in-memory fixpoint: cache_warm is
+        # True but store_hit must stay False when no store is attached
+        spec = SweepSpec.from_axes(
+            "warm", ["grover"], [3],
+            methods=("basic", "contraction"), specs=("AG inv",),
+            method_params={"contraction": {"k1": 2, "k2": 2}})
+        result = run_sweep(spec, out_dir=str(tmp_path))
+        assert [r["cache_warm"] for r in result.records] == \
+            [False, True]
+        assert [r["store_hit"] for r in result.records] == \
+            [False, False]
 
 
 class TestBenchRowAdapter:

@@ -262,3 +262,106 @@ class TestBenchForwarders:
         assert main(["smoke", "--model", "ghz", "--size", "3",
                      "--strategy", "monolithic"]) == 0
         assert "strategy=monolithic" in capsys.readouterr().out
+
+
+class TestStoreFlag:
+    def test_check_miss_then_hit(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["check", "grover", "--size", "3", "--spec",
+                     "AG inv", "--store", store]) == 0
+        assert "store      = miss (recorded)" in capsys.readouterr().out
+        assert main(["check", "grover", "--size", "3", "--spec",
+                     "AG inv", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "store      = hit" in out
+        assert "1 iterations" in out
+        assert "verdict    = holds" in out
+
+    def test_reach_miss_then_hit(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["reach", "qrw", "--size", "3", "--store",
+                     store]) == 0
+        assert "store      = miss (recorded)" in capsys.readouterr().out
+        assert main(["reach", "qrw", "--size", "3", "--store",
+                     store]) == 0
+        out = capsys.readouterr().out
+        assert "store      = hit (seed dim" in out
+        assert "(1 iterations)" in out
+
+    def test_bounded_reach_stays_out_of_the_store(self, capsys,
+                                                  tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["reach", "qrw", "--size", "3", "--bound", "1",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--store", store]) == 0
+        assert "entries        = 0" in capsys.readouterr().out
+
+    def test_no_store_flag_prints_no_store_line(self, capsys):
+        assert main(["reach", "qrw", "--size", "3"]) == 0
+        assert "store " not in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _populate(self, store):
+        assert main(["check", "grover", "--size", "3", "--spec",
+                     "AG inv", "--store", store]) == 0
+
+    def test_stats_on_fresh_store(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--store",
+                     str(tmp_path / "s")]) == 0
+        out = capsys.readouterr().out
+        assert "entries        = 0" in out
+        assert "schema version = 1" in out
+
+    def test_ls_and_stats_after_population(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        self._populate(store)
+        capsys.readouterr()
+        assert main(["cache", "ls", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "forward" in out
+        assert main(["cache", "stats", "--store", store]) == 0
+        assert "entries        = 1" in capsys.readouterr().out
+
+    def test_gc_with_tiny_budget_evicts(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        self._populate(store)
+        capsys.readouterr()
+        assert main(["cache", "gc", "--store", store, "--max-bytes",
+                     "1"]) == 0
+        assert "1 entries evicted" in capsys.readouterr().out
+        assert main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries        = 0" in out
+        assert "evictions      = 1" in out
+
+    def test_export_import_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "s")
+        bundle = str(tmp_path / "bundle.json")
+        self._populate(store)
+        capsys.readouterr()
+        assert main(["cache", "export", "--store", store, "--out",
+                     bundle]) == 0
+        assert "exported 1 entries" in capsys.readouterr().out
+        other = str(tmp_path / "other")
+        assert main(["cache", "import", "--store", other, "--input",
+                     bundle]) == 0
+        assert "imported 1 entries" in capsys.readouterr().out
+        # the imported store warm-starts checks like the original
+        assert main(["check", "grover", "--size", "3", "--spec",
+                     "AG inv", "--store", other]) == 0
+        assert "store      = hit" in capsys.readouterr().out
+
+    def test_import_garbage_uses_uniform_error_path(self, capsys,
+                                                    tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{}")
+        assert main(["cache", "import", "--store",
+                     str(tmp_path / "s"), "--input", str(junk)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])

@@ -44,8 +44,8 @@ class TestCliReferenceInSync:
         assert match, "no subcommand list in --help output"
         subcommands = match.group(1).split(",")
         assert set(subcommands) == {"image", "reach", "check", "invariant",
-                                    "crosscheck", "sweep", "table1",
-                                    "table2", "smoke"}
+                                    "crosscheck", "sweep", "cache",
+                                    "table1", "table2", "smoke"}
         for name in subcommands:
             assert f"`{name}`" in readme, \
                 f"subcommand {name!r} missing from the README CLI reference"
@@ -71,11 +71,22 @@ class TestCliReferenceInSync:
 
     def test_reach_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["reach", "--help"])
-        for flag in ("--frontier", "--direction", "--bound", "--driver"):
+        for flag in ("--frontier", "--direction", "--bound", "--driver",
+                     "--store"):
             assert flag in text
             assert flag.lstrip("-").replace("-", "") in \
                 readme.replace("-", ""), \
                 f"flag {flag} missing from README"
+
+    def test_cache_subcommands_documented(self, capsys, readme):
+        text = help_text(capsys, ["cache", "--help"])
+        for verb in ("ls", "stats", "gc", "export", "import"):
+            assert verb in text
+            assert f"cache {verb}" in readme, \
+                f"'repro cache {verb}' missing from README"
+        gc_text = help_text(capsys, ["cache", "gc", "--help"])
+        assert "--max-bytes" in gc_text
+        assert "--max-bytes" in readme
 
     def test_sweep_flags_documented(self, capsys, readme):
         text = help_text(capsys, ["sweep", "--help"])
